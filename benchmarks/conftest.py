@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark runs one experiment function from
+:mod:`repro.bench.experiments` exactly once (``pedantic(rounds=1)``): the
+interesting output is the *simulated* latency series, which is attached to
+``benchmark.extra_info`` and asserted for shape; the wall time measured by
+pytest-benchmark is the harness cost itself.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def record(benchmark):
+    """Attach an ExperimentResult's rows to the benchmark report."""
+
+    def _record(result):
+        benchmark.extra_info["experiment"] = result.experiment_id
+        benchmark.extra_info["rows"] = [
+            {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()}
+            for row in result.rows
+        ]
+        return result
+
+    return _record

@@ -1,0 +1,116 @@
+"""Ablation benchmarks: FP4S comparison, design-choice sweeps, baselines."""
+
+from conftest import run_once
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+def test_ablation_fp4s(benchmark, record):
+    result = record(run_once(benchmark, exp.ablation_fp4s, (32, 64, 128)))
+    for row in result.rows:
+        # Sec. 2.3: 62.5% storage increment for the (26, 16) code, vs SR3's
+        # replication-two save writing 2x the state.
+        assert row["fp4s_storage_overhead"] == pytest.approx(0.625)
+        assert row["fp4s_recovery_s"] > row["star_recovery_s"]
+    at_128 = result.rows[-1]
+    extra = at_128["fp4s_recovery_s"] - at_128["star_recovery_s"]
+    # "~10 s additional in recovering 128MB state" from erasure compute.
+    assert 5.0 < extra < 15.0
+
+
+def test_ablation_replication_factor(benchmark, record):
+    result = record(run_once(benchmark, exp.ablation_replication_factor, (2, 3, 4)))
+    saves = result.column("save_s")
+    stored = result.column("stored_bytes")
+    # More replicas -> proportionally more stored bytes and slower saves.
+    assert saves == sorted(saves)
+    assert stored[2] == pytest.approx(2 * stored[0])
+    # Recovery stays roughly flat (only one replica per shard is fetched).
+    recoveries = result.column("recovery_s")
+    assert max(recoveries) < 1.3 * min(recoveries)
+
+
+def test_ablation_shard_count(benchmark, record):
+    result = record(
+        run_once(benchmark, exp.ablation_shard_count, (2, 4, 8, 16, 32))
+    )
+    times = result.column("recovery_s")
+    # Finer shards parallelize fetches; past the sweet spot the per-shard
+    # setup cost takes over — the curve is not monotonically decreasing.
+    assert min(times) <= times[0]
+    assert times[-1] >= min(times)
+
+
+def test_ablation_selection_validation(benchmark, record):
+    result = record(run_once(benchmark, exp.ablation_selection_validation))
+    # In the regimes Fig. 7 is explicitly designed around, the heuristic's
+    # choice is measured fastest.
+    small_uncon = next(
+        r for r in result.rows if r["state_mb"] == 8 and not r["constrained"]
+    )
+    assert small_uncon["chosen"] == small_uncon["fastest"] == "star"
+    large_con = next(
+        r for r in result.rows if r["state_mb"] == 128 and r["constrained"]
+    )
+    assert large_con["chosen"] == large_con["fastest"] == "tree"
+    # Fig. 7 prefers line for large state with abundant bandwidth even
+    # though Fig. 8a measures tree fastest there — the paper's own
+    # heuristic/measurement discrepancy, reproduced faithfully.
+    large_uncon = next(
+        r for r in result.rows if r["state_mb"] == 128 and not r["constrained"]
+    )
+    assert large_uncon["chosen"] == "line"
+    assert large_uncon["fastest"] == "tree"
+
+
+def test_ablation_detection_latency(benchmark, record):
+    result = record(
+        run_once(benchmark, exp.ablation_detection_latency, (0.25, 1.0, 4.0))
+    )
+    detections = result.column("detection_s")
+    repairs = result.column("time_to_repair_s")
+    beats = result.column("heartbeat_bytes")
+    # Faster heartbeats detect sooner but cost more maintenance traffic.
+    assert detections == sorted(detections)
+    assert beats == sorted(beats, reverse=True)
+    # Repair = detection + recovery: strictly after detection.
+    assert all(r > d for r, d in zip(repairs, detections))
+
+
+def test_concurrent_apps_recovery(benchmark, record):
+    result = record(run_once(benchmark, exp.concurrent_apps_recovery, (1, 4, 16, 64)))
+    makespans = result.column("makespan_s")
+    # Decentralized recovery: 64 simultaneous app recoveries finish within
+    # a small factor of a single one (no centralized master bottleneck).
+    assert makespans[-1] < 3 * makespans[0]
+    # Makespan never decreases as the failure scale grows.
+    assert makespans == sorted(makespans)
+
+
+def test_ablation_speculation(benchmark, record):
+    result = record(
+        run_once(benchmark, exp.ablation_speculation, (1000.0, 50.0, 10.0, 1.0))
+    )
+    healthy = result.rows[0]
+    # With no straggler, speculation adds no meaningful overhead.
+    assert healthy["speculative_s"] <= healthy["star_s"] * 1.25
+    # Under a severe straggler, speculation wins decisively.
+    worst = result.rows[-1]
+    assert worst["speculations"] >= 1
+    assert worst["speculative_s"] < worst["star_s"] * 0.5
+    # Plain star degrades monotonically as the straggler slows down.
+    star = result.column("star_s")
+    assert star == sorted(star)
+
+
+def test_baseline_matrix(benchmark, record):
+    result = record(run_once(benchmark, exp.baseline_matrix, 64))
+    by_name = {r["approach"]: r["recovery_s"] for r in result.rows}
+    # Replication fails over almost instantly (at 2x hardware); SR3 beats
+    # checkpointing, lineage, and FP4S.
+    assert by_name["replication"] < 2.0
+    assert by_name["sr3_star"] < by_name["checkpointing"]
+    assert by_name["sr3_star"] < by_name["lineage"]
+    assert by_name["sr3_star"] < by_name["fp4s"]

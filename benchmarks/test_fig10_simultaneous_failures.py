@@ -1,0 +1,25 @@
+"""Fig. 10a-10c: recovery time vs number of simultaneous shard failures."""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import experiments as exp
+
+FAILURES = (0, 10, 20, 30, 40)
+
+
+@pytest.mark.parametrize("mechanism", ["star", "line", "tree"])
+def test_fig10_simultaneous_failures(benchmark, record, mechanism):
+    result = record(
+        run_once(benchmark, exp.fig10_simultaneous_failures, mechanism, FAILURES, (2, 3))
+    )
+    r2 = result.series("replicas", 2, "recovery_s")
+    r3 = result.series("replicas", 3, "recovery_s")
+    # "Recovery time slightly increases with increasing number of shard
+    # failures": non-decreasing, and bounded growth.
+    assert r2 == sorted(r2)
+    assert r3 == sorted(r3)
+    assert r2[-1] <= 1.5 * r2[0]
+    # "The recovery time with large replication factor (3) is lightly less
+    # than the small replication factor (2)" at the failure-heavy end.
+    assert r3[-1] <= r2[-1] * 1.02

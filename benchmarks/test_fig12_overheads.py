@@ -1,0 +1,46 @@
+"""Fig. 12a-12c: CPU, memory, and maintenance-network overhead."""
+
+from conftest import run_once
+
+from repro.bench import experiments as exp
+from repro.util.stats import mean
+
+
+def test_fig12a_cpu_overhead(benchmark, record):
+    result = record(run_once(benchmark, exp.fig12a_cpu_overhead))
+    cp = mean(result.column("checkpointing"))
+    reductions = []
+    for mech in ("star", "line", "tree"):
+        m = mean(result.column(mech))
+        assert m < cp
+        reductions.append(1 - m / cp)
+    # "The CPU overhead of SR3 is around 26.8% ~ 44.3% less than the
+    # checkpointing recovery" — require a substantial (>15%) reduction.
+    assert max(reductions) > 0.15
+
+
+def test_fig12b_memory_overhead(benchmark, record):
+    result = record(run_once(benchmark, exp.fig12b_memory_overhead))
+    cp = mean(result.column("checkpointing"))
+    for mech in ("star", "line", "tree"):
+        m = mean(result.column(mech))
+        # "The memory overhead of SR3 is around 30.9% ~ 35.6% less."
+        assert m < cp
+
+
+def test_fig12c_network_overhead(benchmark, record):
+    result = record(
+        run_once(
+            benchmark,
+            exp.fig12c_network_overhead,
+            (20, 40, 80, 160, 320, 640, 1280),
+        )
+    )
+    rates = result.column("bytes_per_node_per_second")
+    nodes = result.column("num_nodes")
+    # "The number of bytes sent per node increase only linearly, with an
+    # exponential increase in the number of nodes": per-node rate grows
+    # monotonically but by a small factor while N grows 64x.
+    assert rates == sorted(rates)
+    assert rates[-1] < 2 * rates[0]
+    assert nodes[-1] == 64 * nodes[0]

@@ -1,0 +1,42 @@
+"""Fig. 8a/8b/8c: recovery and save time vs state size, both bandwidth regimes."""
+
+from conftest import run_once
+
+from repro.bench import experiments as exp
+
+SIZES_MB = (8, 16, 32, 64, 128)
+
+
+def test_fig8a_recovery_no_constraint(benchmark, record):
+    result = record(run_once(benchmark, exp.fig8a_recovery_no_constraint, SIZES_MB))
+    for row in result.rows:
+        # SR3 achieves 35.5%-65% less recovery time than checkpointing.
+        best = min(row["star_s"], row["line_s"], row["tree_s"])
+        assert best < row["checkpointing_s"] * (1 - 0.355)
+    small, large = result.rows[0], result.rows[-1]
+    # Star fastest when state is small; line longest, tree best when large.
+    assert small["star_s"] == min(small["star_s"], small["line_s"], small["tree_s"])
+    assert large["line_s"] == max(large["star_s"], large["line_s"], large["tree_s"])
+    assert large["tree_s"] == min(large["star_s"], large["line_s"], large["tree_s"])
+
+
+def test_fig8b_recovery_bw_constraint(benchmark, record):
+    result = record(run_once(benchmark, exp.fig8b_recovery_bw_constraint, SIZES_MB))
+    for row in result.rows:
+        assert min(row["star_s"], row["line_s"], row["tree_s"]) < row["checkpointing_s"]
+    large = result.rows[-1]
+    # Star suffers the centralized bottleneck; tree wins at the extreme.
+    assert large["star_s"] == max(large["star_s"], large["line_s"], large["tree_s"])
+    assert large["tree_s"] == min(large["star_s"], large["line_s"], large["tree_s"])
+
+
+def test_fig8c_save_time(benchmark, record):
+    result = record(run_once(benchmark, exp.fig8c_save_time, SIZES_MB))
+    small, large = result.rows[0], result.rows[-1]
+    # SR3 save costs more for small state (partition/replication overhead)
+    # and less for large state (leaf-set nodes share the work).
+    assert small["sr3_s"] >= small["checkpointing_s"] * 0.9
+    assert large["sr3_s"] < large["checkpointing_s"]
+    # Save time grows with state size for both approaches.
+    assert result.column("sr3_s") == sorted(result.column("sr3_s"))
+    assert result.column("checkpointing_s") == sorted(result.column("checkpointing_s"))

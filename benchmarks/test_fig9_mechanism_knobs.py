@@ -1,0 +1,58 @@
+"""Fig. 9a-9d: the star/line/tree runtime-parameter sweeps."""
+
+from conftest import run_once
+
+from repro.bench import experiments as exp
+
+
+def test_fig9a_star_fanout(benchmark, record):
+    result = record(
+        run_once(benchmark, exp.fig9a_star_fanout, (1, 2, 3, 4), (8, 16, 32))
+    )
+    # "The state recovery time does not change much as the star fan-out
+    # changes" — flat within 20% per state size.
+    for size in (8, 16, 32):
+        series = result.series("state_mb", size, "recovery_s")
+        assert max(series) - min(series) < 0.2 * min(series)
+    # Larger state still costs more at every fan-out.
+    assert result.series("state_mb", 32, "recovery_s")[0] > result.series(
+        "state_mb", 8, "recovery_s"
+    )[0]
+
+
+def test_fig9b_line_path_length(benchmark, record):
+    result = record(
+        run_once(
+            benchmark, exp.fig9b_line_path_length, (4, 8, 16, 32, 64), (8, 16, 32)
+        )
+    )
+    # "The state recovery time increases as the path length increases."
+    for size in (8, 16, 32):
+        series = result.series("state_mb", size, "recovery_s")
+        assert series == sorted(series)
+        assert series[-1] > series[0]
+
+
+def test_fig9c_tree_branch_depth(benchmark, record):
+    result = record(
+        run_once(benchmark, exp.fig9c_tree_branch_depth, (4, 8, 16, 32, 64), (16, 32))
+    )
+    # "Given the same state size, the state recovery time increases as the
+    # branch length increases."
+    for size in (16, 32):
+        series = result.series("state_mb", size, "recovery_s")
+        assert series == sorted(series)
+        assert series[-1] > series[0]
+
+
+def test_fig9d_tree_fanout(benchmark, record):
+    result = record(
+        run_once(benchmark, exp.fig9d_tree_fanout, (1, 2, 3, 4), (64, 128))
+    )
+    # "When the tree has larger fan-out bit, the depth of the tree will be
+    # less ... which introduces lower latency" — decreasing trend (the
+    # largest fan-out may tie once the tree bottoms out at depth 2).
+    for size in (64, 128):
+        series = result.series("state_mb", size, "recovery_s")
+        assert series[-1] <= series[0]
+        assert min(series) < series[0] or series[0] == series[-1]

@@ -1,0 +1,19 @@
+"""Table 1: the state-management / recovery feature matrix."""
+
+from conftest import run_once
+
+from repro.bench import experiments as exp
+
+
+def test_table1_overview(benchmark, record):
+    result = record(run_once(benchmark, exp.table1_overview))
+    systems = result.column("system")
+    assert "SR3" in systems
+    sr3 = next(r for r in result.rows if r["system"] == "SR3")
+    others = [r for r in result.rows if r["system"] != "SR3"]
+    # SR3 is the only system that both scales to large state and handles
+    # multiple simultaneous failures with a dynamic policy.
+    assert sr3["scales_to_large_state"] and sr3["handles_multiple_failures"]
+    assert not any(
+        r["scales_to_large_state"] and r["handles_multiple_failures"] for r in others
+    )

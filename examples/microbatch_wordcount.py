@@ -1,0 +1,105 @@
+"""The second computation model: synchronous micro-batches (Spark-style).
+
+SR3's stated goal is serving applications with *diverse execution models*
+(Sec. 3.1): Storm's record-at-a-time dataflow and Spark Streaming's
+synchronous mini-batches. This example runs word count on the micro-batch
+engine, protects its ``update_state_by_key`` (``mapWithState``) store with
+SR3, and compares the two recovery paths after a driver crash:
+
+- DStream lineage recomputation — replay every batch since the start
+  (slow when the lineage is long), versus
+- SR3 shard recovery from the DHT overlay — fetch and merge, independent
+  of how long the computation has been running.
+
+Usage: python examples/microbatch_wordcount.py
+"""
+
+import random
+
+from repro.dht.overlay import Overlay
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.model import RecoveryContext, run_handles
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.state.partitioner import merge_shards, partition_snapshot
+from repro.state.store import StateStore
+from repro.streaming.microbatch import MicroBatchEngine, MicroBatchJob
+from repro.workloads.wordcount import SentenceGenerator
+
+NUM_SENTENCES = 3_000
+BATCH_SIZE = 100
+
+
+def build_job() -> MicroBatchJob:
+    job = MicroBatchJob("wordcount", batch_size=BATCH_SIZE)
+    (
+        job.source(SentenceGenerator(NUM_SENTENCES, seed=8))
+        .flat_map(str.split)
+        .map(lambda word: (word, 1))
+        .update_state_by_key("counts", lambda old, values: (old or 0) + sum(values))
+    )
+    return job
+
+
+def main() -> None:
+    # SR3 substrate.
+    sim = Simulator()
+    network = Network(sim)
+    overlay = Overlay(sim, network, rng=random.Random(17))
+    overlay.build(64)
+    manager = RecoveryManager(RecoveryContext(sim, network, overlay))
+
+    engine = MicroBatchEngine(build_job())
+    engine.run(max_batches=20)
+    store = engine.state_store("counts")
+    print(
+        f"processed {engine.batches_processed} batches; "
+        f"{len(store)} distinct words tracked"
+    )
+
+    # Protect the mapWithState store through SR3.
+    owner = overlay.nodes[0]
+    shards = partition_snapshot(store.snapshot(sim.now), 4)
+    manager.register(owner, shards, num_replicas=2)
+    manager.save(store.name)
+    sim.run_until_idle()
+    print("state saved into the DHT ring")
+
+    # The driver node dies. Option A: lineage recomputation (Spark).
+    replayed = engine.recompute_from_lineage()
+    print(
+        f"lineage recovery: re-executed {replayed.batches_processed} batches "
+        f"to rebuild the state"
+    )
+
+    # Option B: SR3 shard recovery — no re-execution at all.
+    overlay.fail_node(owner)
+    handle = manager.recover(store.name)
+    result = run_handles(sim, [handle])[0]
+    plan = manager.states[store.name].plan
+    recovered = merge_shards(plan.available_shards())
+    print(
+        f"SR3 recovery: {result.mechanism} mechanism, "
+        f"{result.duration:.2f}s simulated, zero batches re-executed"
+    )
+
+    # Both paths produce the identical state; resume from batch 20.
+    assert recovered.as_dict() == dict(
+        replayed.state_store("counts").items()
+    )
+    fresh_store = StateStore(store.name)
+    fresh_store.restore(recovered)
+    resumed = MicroBatchEngine(build_job())
+    resumed.attach_state("counts", fresh_store)
+    resumed.batches_processed = engine.batches_processed
+    resumed.run()
+    top = sorted(
+        resumed.state_store("counts").items(), key=lambda kv: -kv[1]
+    )[:5]
+    print("\ntop words after resuming to the end of the stream:")
+    for word, count in top:
+        print(f"  {word}: {count}")
+
+
+if __name__ == "__main__":
+    main()

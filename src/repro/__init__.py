@@ -1,0 +1,32 @@
+"""SR3: Customizable Recovery for Stateful Stream Processing Systems.
+
+A faithful, fully self-contained Python reproduction of the Middleware '20
+paper by Xu, Liu, Cruz-Diaz, Da Silva and Hu. The package contains:
+
+- ``repro.sim`` — a deterministic discrete-event cluster simulator with a
+  max-min fair flow-level network (replaces the paper's 50-VM testbed);
+- ``repro.dht`` — a Pastry-style DHT overlay (routing tables, leaf sets,
+  O(log N) routing, self-repair);
+- ``repro.multicast`` — Scribe-style topic trees;
+- ``repro.state`` — hashtable state stores, shards, replication,
+  placement, and version control;
+- ``repro.recovery`` — the star-, line- and tree-structured recovery
+  mechanisms, the Fig. 7 selection heuristic, and the baselines
+  (checkpointing, replication, DStream lineage, FP4S erasure coding with
+  a real GF(2^8) Reed-Solomon code);
+- ``repro.streaming`` — a Storm-like topology engine with stateful bolts
+  and the SR3 state backend;
+- ``repro.workloads`` — seeded synthetic equivalents of the paper's
+  datasets and the Fig. 1 applications;
+- ``repro.bench`` — the experiment harness regenerating every table and
+  figure of the evaluation.
+
+Quick start: :class:`repro.SR3` (see ``examples/quickstart.py``).
+"""
+
+from repro.api import SR3
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["SR3", "ReproError", "__version__"]

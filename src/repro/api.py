@@ -1,0 +1,267 @@
+"""The high-level SR3 API (Table 2).
+
+A batteries-included façade over the overlay, state layer, and recovery
+mechanisms, mirroring the paper's user-facing functions: ``StateSplit``,
+``Save``, ``StarDefine`` / ``LineDefine`` / ``TreeDefine``, ``Selection``
+and ``Recover`` — with Pythonic names. It owns a simulation, an overlay,
+and a recovery manager, and drives the event loop internally, so a user
+can protect and recover a state in a few lines:
+
+>>> sr3 = SR3.create(num_nodes=64, seed=7)
+>>> owner = sr3.overlay.nodes[0]
+>>> shards = sr3.state_split({"k1": "v1", "k2": "v2"}, "app/state",
+...                          num_shards=2, num_replicas=2)
+>>> sr3.save(owner, shards)                         # doctest: +ELLIPSIS
+SaveResult(...)
+>>> sr3.overlay.fail_node(owner)
+>>> snapshot, result = sr3.recover("app/state")
+>>> sorted(snapshot.as_dict())
+['k1', 'k2']
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.dht.node import DhtNode
+from repro.dht.overlay import Overlay
+from repro.errors import RecoveryError, StateError
+from repro.recovery.line import LineRecovery
+from repro.recovery.manager import MechanismImpl, RecoveryManager
+from repro.recovery.model import CostModel, RecoveryContext, RecoveryResult
+from repro.recovery.save import SaveResult
+from repro.recovery.selection import (
+    Mechanism,
+    SelectionInputs,
+    recommended_path_length,
+    recommended_tree_fanout_bits,
+    select_mechanism,
+)
+from repro.recovery.star import StarRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.state.partitioner import merge_shards, partition_snapshot, partition_synthetic
+from repro.state.placement import LeafSetPlacement
+from repro.state.shard import Shard
+from repro.state.store import StateSnapshot, StateStore
+from repro.util.sizes import MB, mbit_per_s
+
+
+@dataclass
+class _AppPolicy:
+    """Per-application mechanism overrides (Star/Line/TreeDefine)."""
+
+    mechanism: Optional[MechanismImpl] = None
+
+
+class SR3:
+    """The customizable state recovery framework, end to end."""
+
+    def __init__(self, ctx: RecoveryContext, num_replicas: int = 2) -> None:
+        self.ctx = ctx
+        self.overlay = ctx.overlay
+        self.manager = RecoveryManager(ctx)
+        self.num_replicas = num_replicas
+        self._policies: Dict[str, _AppPolicy] = {}
+
+    # -------------------------------------------------------------- creation
+
+    @classmethod
+    def create(
+        cls,
+        num_nodes: int = 64,
+        seed: int = 0,
+        uplink_mbit: Optional[float] = None,
+        downlink_mbit: Optional[float] = None,
+        leaf_set_size: int = 24,
+        cost_model: Optional[CostModel] = None,
+    ) -> "SR3":
+        """Build a self-contained SR3 deployment on a fresh simulation.
+
+        ``uplink_mbit``/``downlink_mbit`` shape every node's link (None
+        means unconstrained, the paper's GbE baseline).
+        """
+        sim = Simulator()
+        network = Network(sim)
+        up = mbit_per_s(uplink_mbit) if uplink_mbit else float("inf")
+        down = mbit_per_s(downlink_mbit) if downlink_mbit else float("inf")
+        overlay = Overlay(
+            sim, network, leaf_set_size=leaf_set_size, rng=random.Random(seed)
+        )
+        overlay.build(
+            num_nodes,
+            host_factory=lambda name: network.add_host(name, up_bw=up, down_bw=down),
+        )
+        ctx = RecoveryContext(sim, network, overlay, cost_model or CostModel())
+        return cls(ctx)
+
+    # ----------------------------------------------------- Table 2: StateSplit
+
+    def state_split(
+        self,
+        state: Union[Dict[Any, Any], StateStore, StateSnapshot, int],
+        state_name: str,
+        num_shards: int,
+        num_replicas: Optional[int] = None,
+    ) -> List[Shard]:
+        """``StateSplit``: partition a state into shards (and set replicas).
+
+        ``state`` may be a dict, a :class:`StateStore`, a snapshot, or an
+        integer byte size (synthetic state for capacity experiments).
+        """
+        replicas = num_replicas or self.num_replicas
+        if isinstance(state, int):
+            shards = partition_synthetic(
+                state_name, state, num_shards,
+                version=self._next_version(state_name),
+            )
+        else:
+            if isinstance(state, dict):
+                store = StateStore(state_name)
+                for key, value in state.items():
+                    store.put(key, value)
+                snapshot = store.snapshot(self.ctx.sim.now)
+            elif isinstance(state, StateStore):
+                snapshot = state.snapshot(self.ctx.sim.now)
+            else:
+                snapshot = state
+            if snapshot.name != state_name:
+                raise StateError(
+                    f"snapshot is named {snapshot.name!r}, expected {state_name!r}"
+                )
+            shards = partition_snapshot(snapshot, num_shards)
+        self._pending_replicas = replicas
+        return shards
+
+    def _next_version(self, state_name: str):
+        from repro.state.version import StateVersion
+
+        registered = self.manager.states.get(state_name)
+        sequence = 1
+        if registered is not None and registered.shards:
+            sequence = registered.shards[0].version.sequence + 1
+        return StateVersion(self.ctx.sim.now, sequence)
+
+    # ----------------------------------------------------------- Table 2: Save
+
+    def save(
+        self,
+        owner: DhtNode,
+        shards: List[Shard],
+        num_replicas: Optional[int] = None,
+        serial: bool = True,
+    ) -> SaveResult:
+        """``Save``: write the shard replicas into the overlay (blocking)."""
+        if not shards:
+            raise StateError("cannot save zero shards")
+        name = shards[0].state_name
+        replicas = num_replicas or getattr(self, "_pending_replicas", self.num_replicas)
+        if name not in self.manager.states:
+            self.manager.register(owner, shards, replicas)
+        else:
+            self.manager.refresh_shards(name, shards)
+        handle = self.manager.save(name, serial=serial)
+        self.ctx.sim.run_until_idle()
+        return handle.result
+
+    # ----------------------------------- Table 2: Star/Line/TreeDefine
+
+    def star_define(self, app_name: str, star_fanout: int = 2) -> None:
+        """``StarDefine``: pin the app to star recovery with this fan-out."""
+        self._policies[app_name] = _AppPolicy(StarRecovery(fanout_bits=star_fanout))
+
+    def line_define(self, app_name: str, length_of_path: int = 8) -> None:
+        """``LineDefine``: pin the app to line recovery with this path."""
+        self._policies[app_name] = _AppPolicy(LineRecovery(path_length=length_of_path))
+
+    def tree_define(
+        self, app_name: str, fanout: int = 1, branch_depth: Optional[int] = None
+    ) -> None:
+        """``TreeDefine``: pin the app to tree recovery with these knobs."""
+        self._policies[app_name] = _AppPolicy(
+            TreeRecovery(fanout_bits=fanout, branch_depth=branch_depth)
+        )
+
+    # ------------------------------------------------------ Table 2: Selection
+
+    def selection(
+        self,
+        app_name: str,
+        requirement: str,
+        state_size: float,
+        network_bw_mbit: Optional[float] = None,
+    ) -> Mechanism:
+        """``Selection``: run the Fig. 7 heuristic and pin the result.
+
+        ``requirement`` is ``"latency-sensitive"`` or
+        ``"latency-insensitive"``; ``network_bw_mbit`` below 1000 counts
+        as a bandwidth-constrained environment.
+        """
+        requirement = requirement.lower()
+        if requirement not in ("latency-sensitive", "latency-insensitive"):
+            raise RecoveryError(
+                "requirement must be 'latency-sensitive' or 'latency-insensitive'"
+            )
+        latency_sensitive = requirement == "latency-sensitive"
+        constrained = network_bw_mbit is not None and network_bw_mbit < 1000
+        choice = select_mechanism(
+            SelectionInputs(
+                state_bytes=state_size,
+                latency_sensitive=latency_sensitive,
+                bandwidth_constrained=constrained,
+            )
+        )
+        if choice is Mechanism.STAR:
+            self.star_define(app_name)
+        elif choice is Mechanism.LINE:
+            self.line_define(
+                app_name, recommended_path_length(state_size, latency_sensitive)
+            )
+        elif choice is Mechanism.TREE:
+            self.tree_define(
+                app_name, recommended_tree_fanout_bits(state_size)
+            )
+        return choice
+
+    # -------------------------------------------------------- Table 2: Recover
+
+    def recover(
+        self,
+        state_name: str,
+        replacement: Optional[DhtNode] = None,
+        mechanism: Optional[MechanismImpl] = None,
+        app_name: Optional[str] = None,
+    ) -> Tuple[StateSnapshot, RecoveryResult]:
+        """``Recover``: rebuild a lost state (blocking).
+
+        Returns the reconstructed snapshot plus the timed
+        :class:`RecoveryResult`. Mechanism precedence: explicit argument,
+        then the app's pinned policy, then the selection heuristic.
+        """
+        if mechanism is None:
+            policy = self._policies.get(app_name or state_name)
+            if policy is not None:
+                mechanism = policy.mechanism
+        registered = self.manager.states.get(state_name)
+        if registered is None:
+            raise RecoveryError(f"unknown state {state_name!r}")
+        if replacement is None and registered.owner.alive:
+            replacement = registered.owner
+        handle = self.manager.recover(state_name, replacement, mechanism)
+        result = self.manager.run([handle])[0]
+        snapshot = merge_shards(registered.plan.available_shards())
+        return snapshot, result
+
+    # ----------------------------------------------------------------- misc
+
+    def protected_states(self) -> List[str]:
+        return sorted(self.manager.states)
+
+    def state_bytes(self, state_name: str) -> float:
+        registered = self.manager.states.get(state_name)
+        if registered is None:
+            raise RecoveryError(f"unknown state {state_name!r}")
+        return registered.state_bytes

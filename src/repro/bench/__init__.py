@@ -1,0 +1,20 @@
+"""Experiment harness: regenerates every table and figure of Sec. 5.
+
+Each ``fig*``/``table*`` function in :mod:`repro.bench.experiments` builds
+a fresh scenario, runs the corresponding experiment at the paper's
+parameters (scaled where noted), and returns an
+:class:`~repro.bench.harness.ExperimentResult` whose rows mirror the
+figure's series. :mod:`repro.bench.reporting` renders those results as the
+text tables recorded in EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import ExperimentResult, Scenario, build_scenario
+from repro.bench.reporting import format_result, render_markdown
+
+__all__ = [
+    "ExperimentResult",
+    "Scenario",
+    "build_scenario",
+    "format_result",
+    "render_markdown",
+]

@@ -1,0 +1,105 @@
+"""Command-line runner for the experiments.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench fig8a
+    python -m repro.bench fig10 --mechanism tree --seed 3
+    python -m repro.bench fig11 --apps 500 --nodes 5000
+    python -m repro.bench all
+
+Prints the regenerated series as a text table (the same rows recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.bench import experiments as exp
+from repro.bench.reporting import format_result
+
+
+def _fig10(args) -> object:
+    return exp.fig10_simultaneous_failures(args.mechanism, seed=args.seed)
+
+
+def _fig11(args) -> object:
+    return exp.fig11_load_balance(args.apps, num_nodes=args.nodes, seed=args.seed)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": lambda args: exp.table1_overview(),
+    "fig8a": lambda args: exp.fig8a_recovery_no_constraint(seed=args.seed),
+    "fig8b": lambda args: exp.fig8b_recovery_bw_constraint(seed=args.seed),
+    "fig8c": lambda args: exp.fig8c_save_time(seed=args.seed),
+    "fig9a": lambda args: exp.fig9a_star_fanout(seed=args.seed),
+    "fig9b": lambda args: exp.fig9b_line_path_length(seed=args.seed),
+    "fig9c": lambda args: exp.fig9c_tree_branch_depth(seed=args.seed),
+    "fig9d": lambda args: exp.fig9d_tree_fanout(seed=args.seed),
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12a": lambda args: exp.fig12a_cpu_overhead(seed=args.seed),
+    "fig12b": lambda args: exp.fig12b_memory_overhead(seed=args.seed),
+    "fig12c": lambda args: exp.fig12c_network_overhead(seed=args.seed),
+    "concurrent": lambda args: exp.concurrent_apps_recovery(seed=args.seed),
+    "detection": lambda args: exp.ablation_detection_latency(seed=args.seed),
+    "speculation": lambda args: exp.ablation_speculation(seed=args.seed),
+    "fp4s": lambda args: exp.ablation_fp4s(seed=args.seed),
+    "replication": lambda args: exp.ablation_replication_factor(seed=args.seed),
+    "shards": lambda args: exp.ablation_shard_count(seed=args.seed),
+    "selection": lambda args: exp.ablation_selection_validation(seed=args.seed),
+    "baselines": lambda args: exp.baseline_matrix(seed=args.seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate a table/figure from the SR3 evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--mechanism",
+        choices=("star", "line", "tree"),
+        default="star",
+        help="mechanism for fig10",
+    )
+    parser.add_argument("--apps", type=int, default=100, help="applications for fig11")
+    parser.add_argument("--nodes", type=int, default=1000, help="overlay size for fig11")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name, fn in EXPERIMENTS.items():
+            print(format_result(fn(args)))
+            print()
+        return 0
+    fn = EXPERIMENTS.get(args.experiment)
+    if fn is None:
+        print(
+            f"unknown experiment {args.experiment!r}; try --list",
+            file=sys.stderr,
+        )
+        return 2
+    print(format_result(fn(args)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Shared scaffolding for the experiments: scenarios and result records."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dht.node import DhtNode
+from repro.dht.overlay import Overlay
+from repro.errors import BenchmarkError
+from repro.recovery.baselines.checkpointing import CheckpointConfig, CheckpointingBaseline
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.model import CostModel, RecoveryContext, run_handles
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, RemoteStorage
+from repro.state.partitioner import partition_synthetic
+from repro.state.placement import HashPlacement, LeafSetPlacement
+from repro.state.version import StateVersion
+from repro.util.sizes import MB, mbit_per_s
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: id, column names, and data rows."""
+
+    experiment_id: str
+    description: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise BenchmarkError(f"{self.experiment_id}: row missing columns {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        if name not in self.columns:
+            raise BenchmarkError(f"{self.experiment_id}: unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def series(self, filter_col: str, filter_value: object, value_col: str) -> List[object]:
+        """Values of one column restricted to rows matching a filter."""
+        return [row[value_col] for row in self.rows if row[filter_col] == filter_value]
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run simulated deployment."""
+
+    sim: Simulator
+    network: Network
+    overlay: Overlay
+    ctx: RecoveryContext
+    storage: RemoteStorage
+    manager: RecoveryManager
+    checkpointing: CheckpointingBaseline
+    constrained: bool
+
+
+def build_scenario(
+    num_nodes: int = 64,
+    seed: int = 0,
+    uplink_mbit: Optional[float] = None,
+    downlink_mbit: Optional[float] = None,
+    leaf_set_size: int = 24,
+    placement: str = "leafset",
+    cost_model: Optional[CostModel] = None,
+    checkpoint_config: Optional[CheckpointConfig] = None,
+) -> Scenario:
+    """Build a deployment matching the paper's testbed shape.
+
+    Unconstrained mode models the GbE LAN of Sec. 5.1; passing
+    ``uplink_mbit=100`` (and the same downlink) reproduces the "upload
+    bandwidth limited to 100 Mb/s per server" configuration of Fig. 8b.
+    """
+    sim = Simulator()
+    network = Network(sim)
+    up = mbit_per_s(uplink_mbit) if uplink_mbit else float("inf")
+    down = mbit_per_s(downlink_mbit) if downlink_mbit else float("inf")
+    overlay = Overlay(sim, network, leaf_set_size=leaf_set_size, rng=random.Random(seed))
+    overlay.build(
+        num_nodes,
+        host_factory=lambda name: network.add_host(name, up_bw=up, down_bw=down),
+    )
+    storage = RemoteStorage("remote-storage", up_bw=400 * MB, down_bw=400 * MB)
+    network.hosts[storage.name] = storage
+    ctx = RecoveryContext(sim, network, overlay, cost_model or CostModel())
+    placement_impl = LeafSetPlacement() if placement == "leafset" else HashPlacement()
+    constrained = uplink_mbit is not None and uplink_mbit < 1000
+    manager = RecoveryManager(ctx, placement=placement_impl, bandwidth_constrained=constrained)
+    checkpointing = CheckpointingBaseline(
+        ctx, storage, checkpoint_config or CheckpointConfig()
+    )
+    return Scenario(
+        sim=sim,
+        network=network,
+        overlay=overlay,
+        ctx=ctx,
+        storage=storage,
+        manager=manager,
+        checkpointing=checkpointing,
+        constrained=constrained,
+    )
+
+
+def default_shard_count(state_bytes: float) -> int:
+    """Shards scale with the state: one per ~8 MB, at least four."""
+    return max(4, int(state_bytes // (8 * MB)))
+
+
+def saved_state(
+    scenario: Scenario,
+    state_name: str,
+    state_bytes: float,
+    num_shards: Optional[int] = None,
+    num_replicas: int = 2,
+    owner: Optional[DhtNode] = None,
+    serial: bool = True,
+):
+    """Register + save one synthetic state; returns (registered, SaveResult)."""
+    owner = owner or scenario.overlay.nodes[0]
+    shards = partition_synthetic(
+        state_name,
+        int(state_bytes),
+        num_shards or default_shard_count(state_bytes),
+        StateVersion(scenario.sim.now, 1),
+    )
+    registered = scenario.manager.register(owner, shards, num_replicas)
+    handle = scenario.manager.save(state_name, serial=serial)
+    scenario.sim.run_until_idle()
+    return registered, handle.result
+
+
+def timed_recovery(scenario: Scenario, mechanism, state_name: str, replacement=None):
+    """Fail the owner and run one recovery; returns the RecoveryResult."""
+    registered = scenario.manager.states[state_name]
+    if registered.owner.alive:
+        scenario.overlay.fail_node(registered.owner)
+    if replacement is None:
+        replacement = scenario.overlay.replacement_for(registered.owner)
+    handle = mechanism.start(scenario.ctx, registered.plan, replacement, state_name)
+    return run_handles(scenario.sim, [handle])[0]

@@ -1,0 +1,30 @@
+"""Pastry-style DHT: the consistent ring overlay SR3 stores shards on.
+
+Layer 1 of the SR3 design (Sec. 3.3): every stream operator is associated
+with a *node* holding a random 128-bit id on a circular id space. Nodes
+keep a prefix-routing table (O(log N) hop routing), a leaf set (the
+numerically closest neighbours, used by star-structured recovery), and the
+overlay is self-organizing and self-repairing.
+"""
+
+from repro.dht.leafset import LeafSet
+from repro.dht.routing_table import RoutingTable
+from repro.dht.node import DhtNode
+from repro.dht.overlay import Overlay
+from repro.dht.maintenance import MaintenanceConfig, run_maintenance_round, measure_maintenance
+from repro.dht.join import JoinReport, protocol_join
+from repro.dht.failure_detector import DetectorConfig, FailureDetector
+
+__all__ = [
+    "LeafSet",
+    "RoutingTable",
+    "DhtNode",
+    "Overlay",
+    "MaintenanceConfig",
+    "run_maintenance_round",
+    "measure_maintenance",
+    "JoinReport",
+    "protocol_join",
+    "DetectorConfig",
+    "FailureDetector",
+]

@@ -1,0 +1,84 @@
+"""Pastry leaf set: the numerically closest neighbours on the ring.
+
+The leaf set holds ``size/2`` nodes clockwise and ``size/2`` nodes
+counter-clockwise of the owner. SR3's star-structured recovery distributes
+shard replicas across the leaf set (Sec. 3.4); the paper's deployment uses
+a leaf set of 24 (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, TYPE_CHECKING
+
+from repro.util.ids import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.dht.node import DhtNode
+
+
+class LeafSet:
+    """The leaf set owned by a single DHT node."""
+
+    def __init__(self, owner_id: NodeId, size: int = 24) -> None:
+        if size < 2 or size % 2:
+            raise ValueError("leaf set size must be even and >= 2")
+        self.owner_id = owner_id
+        self.size = size
+        self._clockwise: List["DhtNode"] = []
+        self._counter: List["DhtNode"] = []
+
+    @property
+    def half(self) -> int:
+        return self.size // 2
+
+    def members(self) -> List["DhtNode"]:
+        """All current members, counter-clockwise side first."""
+        return list(self._counter) + list(self._clockwise)
+
+    def clockwise(self) -> List["DhtNode"]:
+        """Members clockwise of the owner, nearest first."""
+        return list(self._clockwise)
+
+    def counter_clockwise(self) -> List["DhtNode"]:
+        """Members counter-clockwise of the owner, nearest first."""
+        return list(self._counter)
+
+    def rebuild(self, nodes: Iterable["DhtNode"]) -> None:
+        """Recompute both halves from a pool of alive candidate nodes."""
+        alive = [n for n in nodes if n.alive and n.node_id != self.owner_id]
+        by_cw = sorted(alive, key=lambda n: self.owner_id.clockwise_distance(n.node_id))
+        by_ccw = sorted(alive, key=lambda n: n.node_id.clockwise_distance(self.owner_id))
+        self._clockwise = by_cw[: self.half]
+        self._counter = by_ccw[: self.half]
+
+    def remove(self, node_id: NodeId) -> bool:
+        """Drop a failed member; returns True if it was present."""
+        before = len(self._clockwise) + len(self._counter)
+        self._clockwise = [n for n in self._clockwise if n.node_id != node_id]
+        self._counter = [n for n in self._counter if n.node_id != node_id]
+        return len(self._clockwise) + len(self._counter) != before
+
+    def contains(self, node_id: NodeId) -> bool:
+        return any(n.node_id == node_id for n in self.members())
+
+    def covers(self, key: NodeId) -> bool:
+        """True when ``key`` falls inside the span of the leaf set.
+
+        Pastry's routing rule: if the key is within the leaf-set range, the
+        message is delivered directly to the numerically closest leaf.
+        """
+        if not self._clockwise or not self._counter:
+            return False
+        low = self._counter[-1].node_id
+        high = self._clockwise[-1].node_id
+        return low.clockwise_distance(key) <= low.clockwise_distance(high)
+
+    def closest(self, key: NodeId) -> Optional["DhtNode"]:
+        """The alive member (or owner-side candidate) nearest to ``key``."""
+        alive = [n for n in self.members() if n.alive]
+        if not alive:
+            return None
+        return min(alive, key=lambda n: (key.distance(n.node_id), n.node_id.value))
+
+    def is_full(self) -> bool:
+        return len(self._clockwise) == self.half and len(self._counter) == self.half

@@ -1,0 +1,27 @@
+"""Scribe-style application-level multicast on top of the DHT.
+
+SR3's tree-structured recovery builds its shard-aggregation spanning trees
+on "a scalable application-level multicast infrastructure, called Scribe"
+(Sec. 3.6). This package provides topic-based trees formed by the union of
+DHT routes toward the topic root, plus balanced-tree construction with
+configurable fan-out for the recovery mechanism.
+"""
+
+from repro.multicast.scribe import ScribeSystem, ScribeTopic
+from repro.multicast.tree import (
+    SpanningTree,
+    build_balanced_tree,
+    build_tree,
+    build_tree_with_depth,
+    fanout_for_depth,
+)
+
+__all__ = [
+    "ScribeSystem",
+    "ScribeTopic",
+    "SpanningTree",
+    "build_balanced_tree",
+    "build_tree",
+    "build_tree_with_depth",
+    "fanout_for_depth",
+]

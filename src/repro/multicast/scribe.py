@@ -1,0 +1,139 @@
+"""Scribe: topic-based publish/subscribe multicast over the DHT.
+
+A topic's id hashes onto the ring; the node responsible for that id is the
+topic root. A subscriber routes a JOIN message toward the root, and every
+node along the route becomes a forwarder — the union of routes forms the
+multicast tree (Castro et al., "SCRIBE", JSAC 2002). Publishing sends the
+payload to the root, which disseminates it down the tree.
+
+SR3 uses Scribe trees as the transport substrate of the tree-structured
+recovery mechanism (Sec. 3.6 / Sec. 4: "implemented the tree-structured
+mechanism on top of Scribe's topic-based publish/subscribe trees").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.dht.node import DhtNode
+from repro.dht.overlay import Overlay
+from repro.errors import MulticastError
+from repro.multicast.tree import SpanningTree
+from repro.util.ids import NodeId, node_id_from_name
+
+JOIN_MESSAGE_BYTES = 96
+LEAVE_MESSAGE_BYTES = 64
+
+
+class ScribeTopic:
+    """One multicast group: a root, subscribers, and the route-union tree."""
+
+    def __init__(self, name: str, topic_id: NodeId, root: DhtNode) -> None:
+        self.name = name
+        self.topic_id = topic_id
+        self.root = root
+        self.tree = SpanningTree(root)
+        self.subscribers: Set[DhtNode] = set()
+
+    def __repr__(self) -> str:
+        return f"ScribeTopic({self.name!r}, root={self.root.name}, members={len(self.tree)})"
+
+
+class ScribeSystem:
+    """Manages topics over one overlay."""
+
+    def __init__(self, overlay: Overlay) -> None:
+        self.overlay = overlay
+        self.topics: Dict[str, ScribeTopic] = {}
+        self.control_messages_sent = 0
+
+    def create_topic(self, name: str) -> ScribeTopic:
+        """Create (or return) a topic; root = node responsible for its id."""
+        if name in self.topics:
+            return self.topics[name]
+        topic_id = node_id_from_name(f"scribe/{name}")
+        root = self.overlay.responsible_node(topic_id)
+        topic = ScribeTopic(name, topic_id, root)
+        self.topics[name] = topic
+        return topic
+
+    def subscribe(self, name: str, node: DhtNode) -> None:
+        """Join ``node`` to the topic tree via its DHT route to the root.
+
+        Every intermediate node on the route becomes a forwarder. The JOIN
+        stops at the first node already in the tree (Scribe's key property:
+        join cost is O(log N) messages and trees stay shallow).
+        """
+        topic = self._get(name)
+        if node in topic.tree:
+            topic.subscribers.add(node)
+            return
+        _, path = self.overlay.route(node, topic.topic_id)
+        if path[-1].node_id != topic.root.node_id:
+            # Root moved (e.g. after failures): re-anchor the topic.
+            raise MulticastError(
+                f"topic {name!r}: route ended at {path[-1].name}, root is {topic.root.name}"
+            )
+        # Walk from the root end back toward the subscriber, attaching each
+        # node under its successor on the path.
+        for hop_index in range(len(path) - 2, -1, -1):
+            hop = path[hop_index]
+            parent = path[hop_index + 1]
+            self.overlay.network.send_control(hop.host, parent.host, JOIN_MESSAGE_BYTES)
+            self.control_messages_sent += 1
+            if hop not in topic.tree:
+                topic.tree.add(hop, parent)
+        topic.subscribers.add(node)
+
+    def unsubscribe(self, name: str, node: DhtNode) -> None:
+        """Remove a subscriber. Forwarder state is kept (lazy pruning)."""
+        topic = self._get(name)
+        topic.subscribers.discard(node)
+        parent = topic.tree.parent(node) if node in topic.tree else None
+        if parent is not None:
+            self.overlay.network.send_control(node.host, parent.host, LEAVE_MESSAGE_BYTES)
+            self.control_messages_sent += 1
+
+    def publish(self, name: str, payload_bytes: float, publisher: Optional[DhtNode] = None) -> Dict[DhtNode, int]:
+        """Disseminate a payload down the tree; returns node -> depth map.
+
+        Bytes are charged per tree edge as control traffic (dissemination
+        of small recovery-coordination messages); bulk shard data instead
+        travels over :class:`~repro.sim.network.Network` flows managed by
+        the recovery mechanisms.
+        """
+        topic = self._get(name)
+        if payload_bytes < 0:
+            raise MulticastError("payload size must be non-negative")
+        if publisher is not None and publisher is not topic.root:
+            self.overlay.network.send_control(publisher.host, topic.root.host, payload_bytes)
+            self.control_messages_sent += 1
+        depths: Dict[DhtNode, int] = {}
+        for node in topic.tree.bfs():
+            depths[node] = topic.tree.depth_of(node)
+            for child in topic.tree.children(node):
+                self.overlay.network.send_control(node.host, child.host, payload_bytes)
+                self.control_messages_sent += 1
+        return depths
+
+    def repair(self, name: str) -> None:
+        """Rebuild the tree after failures: re-anchor root, re-join members.
+
+        Scribe repairs locally (children of a failed forwarder re-join);
+        rebuilding from the subscriber set reproduces the same final tree
+        shape at simulation scale.
+        """
+        topic = self._get(name)
+        survivors = [n for n in topic.subscribers if n.alive]
+        root = self.overlay.responsible_node(topic.topic_id)
+        topic.root = root
+        topic.tree = SpanningTree(root)
+        topic.subscribers = set()
+        for node in survivors:
+            self.subscribe(name, node)
+
+    def _get(self, name: str) -> ScribeTopic:
+        try:
+            return self.topics[name]
+        except KeyError:
+            raise MulticastError(f"unknown topic {name!r}") from None

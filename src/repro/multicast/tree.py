@@ -1,0 +1,197 @@
+"""Spanning trees over DHT nodes.
+
+:class:`SpanningTree` is the structure both Scribe dissemination and SR3's
+tree-structured recovery operate on: a rooted tree whose vertices are
+overlay nodes. :func:`build_balanced_tree` constructs a balanced tree with
+fan-out ``2**fanout_bits`` — the paper's tunable "tree fan-out" knob
+(Fig. 9d) — optionally capped at a maximum branch depth (Fig. 9c).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.dht.node import DhtNode
+from repro.errors import MulticastError
+
+
+class SpanningTree:
+    """A rooted tree of overlay nodes with parent/children indexes."""
+
+    def __init__(self, root: DhtNode) -> None:
+        self.root = root
+        self._parent: Dict[DhtNode, Optional[DhtNode]] = {root: None}
+        self._children: Dict[DhtNode, List[DhtNode]] = {root: []}
+
+    def __contains__(self, node: DhtNode) -> bool:
+        return node in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def add(self, node: DhtNode, parent: DhtNode) -> None:
+        """Attach ``node`` under ``parent``; both directions are indexed."""
+        if parent not in self._parent:
+            raise MulticastError(f"parent {parent.name} not in tree")
+        if node in self._parent:
+            raise MulticastError(f"node {node.name} already in tree")
+        self._parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+
+    def parent(self, node: DhtNode) -> Optional[DhtNode]:
+        if node not in self._parent:
+            raise MulticastError(f"{node.name} not in tree")
+        return self._parent[node]
+
+    def children(self, node: DhtNode) -> List[DhtNode]:
+        if node not in self._children:
+            raise MulticastError(f"{node.name} not in tree")
+        return list(self._children[node])
+
+    def members(self) -> List[DhtNode]:
+        return list(self._parent)
+
+    def leaves(self) -> List[DhtNode]:
+        return [n for n, kids in self._children.items() if not kids]
+
+    def depth_of(self, node: DhtNode) -> int:
+        """Edges between ``node`` and the root."""
+        depth = 0
+        current: Optional[DhtNode] = node
+        while True:
+            current = self.parent(current)  # raises if node unknown
+            if current is None:
+                return depth
+            depth += 1
+
+    def height(self) -> int:
+        """Maximum node depth in the tree (0 for a root-only tree)."""
+        return max(self.depth_of(n) for n in self.members())
+
+    def max_fanout(self) -> int:
+        return max((len(kids) for kids in self._children.values()), default=0)
+
+    def bfs(self) -> Iterator[DhtNode]:
+        """Iterate nodes root-first in breadth-first order."""
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            yield node
+            queue.extend(self._children[node])
+
+    def levels(self) -> List[List[DhtNode]]:
+        """Nodes grouped by depth, root level first."""
+        grouped: Dict[int, List[DhtNode]] = {}
+        for node in self.bfs():
+            grouped.setdefault(self.depth_of(node), []).append(node)
+        return [grouped[d] for d in sorted(grouped)]
+
+    def validate(self) -> None:
+        """Check tree invariants: connected, acyclic, consistent indexes."""
+        seen = set()
+        for node in self.bfs():
+            if node in seen:
+                raise MulticastError("cycle detected in spanning tree")
+            seen.add(node)
+        if len(seen) != len(self._parent):
+            raise MulticastError("tree is not connected")
+        for node, parent in self._parent.items():
+            if parent is not None and node not in self._children[parent]:
+                raise MulticastError("parent/children indexes disagree")
+
+
+def build_balanced_tree(
+    root: DhtNode,
+    members: Sequence[DhtNode],
+    fanout_bits: int = 1,
+    max_depth: Optional[int] = None,
+) -> SpanningTree:
+    """Arrange ``members`` under ``root`` in a balanced tree.
+
+    Fan-out is ``2**fanout_bits`` per node, matching the paper's statement
+    that "the tree fan-out n determines the fan-out of each node with 2^n"
+    (Fig. 9d). When ``max_depth`` is given, the tree is capped at that many
+    levels below the root; extra members widen the deepest permitted level
+    instead of deepening the tree (the branch-depth knob of Fig. 9c).
+    """
+    if fanout_bits < 0:
+        raise MulticastError("fanout_bits must be non-negative")
+    return build_tree(root, members, 1 << fanout_bits, max_depth)
+
+
+def fanout_for_depth(member_count: int, depth: int) -> int:
+    """The smallest fan-out whose complete tree of ``depth`` levels holds
+    ``member_count`` nodes below the root.
+
+    Used to honour a configured branch depth (Fig. 9c): a deeper target
+    yields a narrower tree, down to a chain at ``depth >= member_count``.
+    """
+    if depth < 1:
+        raise MulticastError("depth must be at least 1")
+    if member_count <= 0:
+        return 1
+    fanout = 1
+    while True:
+        # Capacity of a complete tree with `depth` levels below the root.
+        if fanout == 1:
+            capacity = depth
+        else:
+            capacity = (fanout ** (depth + 1) - fanout) // (fanout - 1)
+        if capacity >= member_count:
+            return fanout
+        fanout += 1
+
+
+def build_tree_with_depth(
+    root: DhtNode,
+    members: Sequence[DhtNode],
+    depth: int,
+) -> SpanningTree:
+    """Arrange members in a tree aiming for the configured branch depth."""
+    fanout = fanout_for_depth(len(members), depth)
+    return build_tree(root, members, fanout, max_depth=depth)
+
+
+def build_tree(
+    root: DhtNode,
+    members: Sequence[DhtNode],
+    fanout: int,
+    max_depth: Optional[int] = None,
+) -> SpanningTree:
+    """Arrange ``members`` under ``root`` with a raw per-node ``fanout``."""
+    if fanout < 1:
+        raise MulticastError("fanout must be at least 1")
+    tree = SpanningTree(root)
+    pending = [m for m in members if m is not root]
+    if not pending:
+        return tree
+    # Breadth-first fill: attach to the shallowest node with spare slots.
+    frontier = deque([root])
+    overflow_hosts: deque = deque()
+    for node in pending:
+        attached = False
+        while frontier:
+            parent = frontier[0]
+            if len(tree.children(parent)) < fanout:
+                depth = tree.depth_of(parent) + 1
+                if max_depth is None or depth <= max_depth:
+                    tree.add(node, parent)
+                    if max_depth is None or depth < max_depth:
+                        frontier.append(node)
+                    else:
+                        overflow_hosts.append(node)
+                    attached = True
+                    break
+            frontier.popleft()
+        if not attached:
+            # Depth cap reached everywhere: widen the deepest level by
+            # letting capped leaves exceed the nominal fan-out.
+            if not overflow_hosts:
+                raise MulticastError("cannot place node: empty tree frontier")
+            host = overflow_hosts.popleft()
+            tree.add(node, tree.parent(host) or tree.root)
+            overflow_hosts.append(host)
+    tree.validate()
+    return tree

@@ -1,0 +1,48 @@
+"""SR3 recovery mechanisms and the mechanism-selection heuristic.
+
+Layer 3 of the SR3 design: three customizable recovery mechanisms —
+
+- :class:`~repro.recovery.star.StarRecovery` (Sec. 3.4): leaf-set
+  providers upload shards directly to the replacing node in parallel;
+  fastest for small state, centralized bottleneck for large state.
+- :class:`~repro.recovery.line.LineRecovery` (Sec. 3.5): shards are merged
+  along a pipelined chain of providers, balancing download and compute
+  load; latency grows with path length.
+- :class:`~repro.recovery.tree.TreeRecovery` (Sec. 3.6): shards split into
+  sub-shards and aggregated up Scribe-style spanning trees in parallel;
+  best for very large state and many simultaneous failures.
+
+plus the runtime heuristic of Sec. 3.7 that picks one per application.
+"""
+
+from repro.recovery.model import (
+    CostModel,
+    RecoveryContext,
+    RecoveryHandle,
+    RecoveryResult,
+)
+from repro.recovery.save import SaveResult, sr3_save
+from repro.recovery.star import StarRecovery
+from repro.recovery.line import LineRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.recovery.selection import Mechanism, SelectionInputs, select_mechanism
+from repro.recovery.speculation import SpeculationConfig, SpeculativeStarRecovery
+from repro.recovery.manager import RecoveryManager
+
+__all__ = [
+    "CostModel",
+    "RecoveryContext",
+    "RecoveryHandle",
+    "RecoveryResult",
+    "SaveResult",
+    "sr3_save",
+    "StarRecovery",
+    "LineRecovery",
+    "TreeRecovery",
+    "Mechanism",
+    "SelectionInputs",
+    "select_mechanism",
+    "SpeculationConfig",
+    "SpeculativeStarRecovery",
+    "RecoveryManager",
+]

@@ -1,0 +1,9 @@
+"""Reed-Solomon erasure coding over GF(2^8) for the FP4S baseline."""
+
+from repro.recovery.baselines.erasure.gf256 import GF256
+from repro.recovery.baselines.erasure.reed_solomon import (
+    CodedBlock,
+    ReedSolomonCode,
+)
+
+__all__ = ["GF256", "CodedBlock", "ReedSolomonCode"]

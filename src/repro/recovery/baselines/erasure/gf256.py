@@ -1,0 +1,152 @@
+"""Arithmetic in the Galois field GF(2^8).
+
+The field underlying the (n, m) Reed-Solomon code FP4S uses (Sec. 2.3).
+Elements are bytes; addition is XOR; multiplication uses log/antilog
+tables built from the AES-standard primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ErasureCodingError
+
+_PRIMITIVE_POLY = 0x11D
+_FIELD_SIZE = 256
+
+
+def _build_tables() -> tuple:
+    exp = [0] * (_FIELD_SIZE * 2)
+    log = [0] * _FIELD_SIZE
+    value = 1
+    for power in range(_FIELD_SIZE - 1):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLY
+    # Duplicate the exp table so products of logs never need a modulo.
+    for power in range(_FIELD_SIZE - 1, _FIELD_SIZE * 2):
+        exp[power] = exp[power - (_FIELD_SIZE - 1)]
+    return tuple(exp), tuple(log)
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Stateless GF(2^8) arithmetic helpers."""
+
+    ORDER = _FIELD_SIZE
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        return a ^ b
+
+    @staticmethod
+    def sub(a: int, b: int) -> int:
+        # Characteristic 2: subtraction equals addition.
+        return a ^ b
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return _EXP[_LOG[a] + _LOG[b]]
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        if b == 0:
+            raise ErasureCodingError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return _EXP[_LOG[a] - _LOG[b] + (_FIELD_SIZE - 1)]
+
+    @staticmethod
+    def pow(a: int, exponent: int) -> int:
+        if exponent == 0:
+            return 1
+        if a == 0:
+            return 0
+        return _EXP[(_LOG[a] * exponent) % (_FIELD_SIZE - 1)]
+
+    @staticmethod
+    def inverse(a: int) -> int:
+        if a == 0:
+            raise ErasureCodingError("zero has no inverse in GF(256)")
+        return _EXP[(_FIELD_SIZE - 1) - _LOG[a]]
+
+
+def mat_vec_mul(matrix: List[List[int]], vector: List[int]) -> List[int]:
+    """Matrix-vector product over GF(256)."""
+    result = []
+    for row in matrix:
+        if len(row) != len(vector):
+            raise ErasureCodingError("matrix/vector shape mismatch")
+        acc = 0
+        for coeff, value in zip(row, vector):
+            acc ^= GF256.mul(coeff, value)
+        result.append(acc)
+    return result
+
+
+def mat_mul(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+    """Matrix product over GF(256)."""
+    if not a or not b or len(a[0]) != len(b):
+        raise ErasureCodingError("matrix shape mismatch")
+    cols = len(b[0])
+    return [
+        [
+            _dot(row, [b[k][j] for k in range(len(b))])
+            for j in range(cols)
+        ]
+        for row in a
+    ]
+
+
+def _dot(xs: List[int], ys: List[int]) -> int:
+    acc = 0
+    for x, y in zip(xs, ys):
+        acc ^= GF256.mul(x, y)
+    return acc
+
+
+def mat_invert(matrix: List[List[int]]) -> List[List[int]]:
+    """Invert a square matrix over GF(256) by Gauss-Jordan elimination.
+
+    Raises :class:`ErasureCodingError` when the matrix is singular (i.e.
+    the chosen blocks cannot reconstruct the data).
+    """
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise ErasureCodingError("matrix must be square")
+    work = [list(row) + [1 if i == j else 0 for j in range(n)] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if work[r][col] != 0), None)
+        if pivot_row is None:
+            raise ErasureCodingError("singular matrix: blocks are not independent")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot_inv = GF256.inverse(work[col][col])
+        work[col] = [GF256.mul(v, pivot_inv) for v in work[col]]
+        for row in range(n):
+            if row != col and work[row][col] != 0:
+                factor = work[row][col]
+                work[row] = [
+                    v ^ GF256.mul(factor, pv)
+                    for v, pv in zip(work[row], work[col])
+                ]
+    return [row[n:] for row in work]
+
+
+def vandermonde(rows: int, cols: int) -> List[List[int]]:
+    """A ``rows x cols`` Vandermonde matrix over GF(256).
+
+    Row ``i`` is ``[i+1 ** 0, (i+1) ** 1, ...]``; any ``cols`` distinct
+    rows are linearly independent, the property Reed-Solomon relies on.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ErasureCodingError("matrix dimensions must be positive")
+    if rows >= GF256.ORDER:
+        raise ErasureCodingError("too many rows for GF(256) Vandermonde")
+    return [[GF256.pow(i + 1, j) for j in range(cols)] for i in range(rows)]

@@ -1,0 +1,130 @@
+"""An (n, m) Reed-Solomon erasure code.
+
+FP4S (Sec. 2.3) "divides a data object into m blocks and transforms these
+blocks into n coded blocks, guaranteeing that any m out of the n coded
+blocks are sufficient to reconstruct the original data object", tolerating
+``n - m`` simultaneous losses.
+
+This is a non-systematic Vandermonde construction: every coded block is a
+GF(256) linear combination of the data blocks; decoding gathers any ``m``
+blocks, inverts the corresponding sub-matrix, and re-multiplies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ErasureCodingError
+from repro.recovery.baselines.erasure.gf256 import (
+    GF256,
+    mat_invert,
+    mat_vec_mul,
+    vandermonde,
+)
+
+
+@dataclass(frozen=True)
+class CodedBlock:
+    """One coded block: its row index in the code matrix plus payload."""
+
+    index: int
+    payload: bytes
+
+
+class ReedSolomonCode:
+    """An (n, m) maximum-distance-separable erasure code over GF(256)."""
+
+    def __init__(self, num_data: int, num_coded: int) -> None:
+        if num_data <= 0:
+            raise ErasureCodingError("num_data must be positive")
+        if num_coded < num_data:
+            raise ErasureCodingError("num_coded must be >= num_data")
+        if num_coded >= GF256.ORDER:
+            raise ErasureCodingError("num_coded must be < 256 for GF(256)")
+        self.num_data = num_data
+        self.num_coded = num_coded
+        self._matrix = vandermonde(num_coded, num_data)
+
+    @property
+    def storage_overhead(self) -> float:
+        """Extra storage fraction, e.g. 0.625 for a (26, 16) code."""
+        return self.num_coded / self.num_data - 1.0
+
+    @property
+    def max_losses(self) -> int:
+        """Simultaneous block losses the code tolerates."""
+        return self.num_coded - self.num_data
+
+    # ------------------------------------------------------------------ split
+
+    def split(self, data: bytes) -> List[bytes]:
+        """Pad and split ``data`` into ``num_data`` equal-length blocks.
+
+        The first 4 bytes of the padded stream record the original length
+        so :meth:`join` can strip the padding.
+        """
+        framed = len(data).to_bytes(4, "big") + data
+        block_len = -(-len(framed) // self.num_data)  # ceil division
+        padded = framed.ljust(block_len * self.num_data, b"\0")
+        return [
+            padded[i * block_len : (i + 1) * block_len]
+            for i in range(self.num_data)
+        ]
+
+    @staticmethod
+    def join(blocks: Sequence[bytes]) -> bytes:
+        """Inverse of :meth:`split`."""
+        stream = b"".join(blocks)
+        if len(stream) < 4:
+            raise ErasureCodingError("joined stream too short for length frame")
+        length = int.from_bytes(stream[:4], "big")
+        if length > len(stream) - 4:
+            raise ErasureCodingError("corrupt length frame in joined stream")
+        return stream[4 : 4 + length]
+
+    # ----------------------------------------------------------------- encode
+
+    def encode(self, data: bytes) -> List[CodedBlock]:
+        """Encode ``data`` into ``num_coded`` blocks."""
+        data_blocks = self.split(data)
+        block_len = len(data_blocks[0])
+        coded_payloads = [bytearray(block_len) for _ in range(self.num_coded)]
+        for offset in range(block_len):
+            column = [block[offset] for block in data_blocks]
+            for row_index, row in enumerate(self._matrix):
+                acc = 0
+                for coeff, value in zip(row, column):
+                    acc ^= GF256.mul(coeff, value)
+                coded_payloads[row_index][offset] = acc
+        return [
+            CodedBlock(index, bytes(payload))
+            for index, payload in enumerate(coded_payloads)
+        ]
+
+    # ----------------------------------------------------------------- decode
+
+    def decode(self, blocks: Sequence[CodedBlock]) -> bytes:
+        """Reconstruct the original data from any ``num_data`` blocks."""
+        unique = {b.index: b for b in blocks}
+        if len(unique) < self.num_data:
+            raise ErasureCodingError(
+                f"need {self.num_data} distinct blocks, got {len(unique)}"
+            )
+        chosen = sorted(unique.values(), key=lambda b: b.index)[: self.num_data]
+        lengths = {len(b.payload) for b in chosen}
+        if len(lengths) != 1:
+            raise ErasureCodingError("coded blocks have inconsistent lengths")
+        for block in chosen:
+            if not 0 <= block.index < self.num_coded:
+                raise ErasureCodingError(f"block index {block.index} out of range")
+        sub_matrix = [self._matrix[b.index] for b in chosen]
+        inverse = mat_invert(sub_matrix)
+        block_len = lengths.pop()
+        data_blocks = [bytearray(block_len) for _ in range(self.num_data)]
+        for offset in range(block_len):
+            column = [b.payload[offset] for b in chosen]
+            recovered = mat_vec_mul(inverse, column)
+            for i, value in enumerate(recovered):
+                data_blocks[i][offset] = value
+        return self.join([bytes(b) for b in data_blocks])

@@ -1,0 +1,101 @@
+"""Replication recovery (Flux, Borealis).
+
+"The system maintains a completely separate set of hot failover nodes,
+which processes the same stream in parallel with the primary set ... the
+failover is fast and it can handle multiple failures. However, the
+replication recovery scheme doubles the hardware requirement" (Sec. 2.2).
+
+Recovery is a near-instant switchover; the cost shows up as hardware:
+every protected operator permanently occupies a standby node, and every
+input record is delivered twice (continuous network duplication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dht.node import DhtNode
+from repro.errors import RecoveryError
+from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Constants of the hot-standby scheme."""
+
+    # Heartbeat miss detection plus the switchover handshake.
+    failover_delay: float = 0.8
+    # Hardware multiplier relative to an unreplicated deployment.
+    hardware_factor: float = 2.0
+
+
+class ReplicationBaseline:
+    """Hot-standby replication: fast failover, 2x hardware."""
+
+    name = "replication"
+
+    def __init__(self, ctx: RecoveryContext, config: ReplicationConfig = ReplicationConfig()) -> None:
+        self.ctx = ctx
+        self.config = config
+        self._standbys: Dict[str, DhtNode] = {}
+        self.duplicated_bytes = 0.0
+
+    def protect(self, primary: DhtNode, standby: DhtNode) -> None:
+        """Dedicate ``standby`` as the hot failover of ``primary``."""
+        if primary.node_id == standby.node_id:
+            raise RecoveryError("standby must be a distinct node")
+        self._standbys[primary.name] = standby
+
+    def standby_count(self) -> int:
+        """Extra nodes permanently consumed (the 2x hardware cost)."""
+        return len(self._standbys)
+
+    def duplicate_input(self, primary: DhtNode, nbytes: float) -> None:
+        """Account the second copy of every input record.
+
+        The standby consumes the same stream; this is continuous overhead
+        paid even when nothing ever fails.
+        """
+        standby = self._standbys.get(primary.name)
+        if standby is None:
+            raise RecoveryError(f"{primary.name} has no standby registered")
+        self.ctx.network.send_control(primary.host, standby.host, nbytes)
+        self.duplicated_bytes += nbytes
+
+    def recover(
+        self,
+        primary: DhtNode,
+        state_bytes: float,
+        state_name: str = "replicated-state",
+    ) -> RecoveryHandle:
+        """Fail over to the standby: no state movement, tiny fixed delay."""
+        standby = self._standbys.get(primary.name)
+        if standby is None:
+            raise RecoveryError(f"{primary.name} has no standby registered")
+        if not standby.alive:
+            raise RecoveryError(
+                f"standby {standby.name} of {primary.name} has also failed"
+            )
+        sim = self.ctx.sim
+        handle = RecoveryHandle(self.name, state_name)
+        started_at = sim.now
+
+        def finish() -> None:
+            handle._resolve(
+                RecoveryResult(
+                    mechanism=self.name,
+                    state_name=state_name,
+                    state_bytes=state_bytes,
+                    started_at=started_at,
+                    finished_at=sim.now,
+                    bytes_transferred=0.0,
+                    nodes_involved=1,
+                    shards_recovered=1,
+                    replacement=standby.name,
+                    detail={"hardware_factor": self.config.hardware_factor},
+                )
+            )
+
+        sim.schedule(self.config.failover_delay, finish)
+        return handle

@@ -1,0 +1,205 @@
+"""The line-structured recovery mechanism (Sec. 3.5).
+
+Shards are transmitted and combined along a chain covering the providing
+nodes and the replacing node: each chain node merges its own shard into
+the accumulated state and forwards the result downstream (Fig. 4). The
+download and compute load is balanced across all chain nodes — no single
+node does all the reconstruction — which helps recover large state, at the
+price of per-stage latency that grows with the path length (Fig. 9b).
+
+Modeling notes (documented in DESIGN.md): the chain is *pipelined* — a
+node forwards merged data while still receiving — so the network wall time
+is governed by the tightest link into the replacing node (simulated as one
+full-size flow over the final hop), racing against the sequential chain of
+per-stage CPU work. Each stage pays a merge of its own portion plus the
+"redundant calculations in the state recovery path" (Sec. 5.2): a
+recomputation proportional to the accumulated prefix it forwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dht.node import DhtNode
+from repro.errors import InsufficientShardsError
+from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.state.placement import PlacedShard, PlacementPlan
+
+
+class LineRecovery:
+    """Pipelined merge-chain recovery."""
+
+    name = "line"
+
+    def __init__(self, path_length: int = 8) -> None:
+        if path_length < 1:
+            raise ValueError("path_length must be at least 1")
+        self.path_length = path_length
+
+    def start(
+        self,
+        ctx: RecoveryContext,
+        plan: PlacementPlan,
+        replacement: DhtNode,
+        state_name: Optional[str] = None,
+    ) -> RecoveryHandle:
+        sim = ctx.sim
+        cost = ctx.cost_model
+        name = state_name or plan.placements[0].replica.shard.state_name
+        handle = RecoveryHandle(self.name, name)
+        started_at = sim.now
+
+        # One surviving replica per shard, plus its lookup penalty when the
+        # primary replica was lost.
+        shard_sources: Dict[int, PlacedShard] = {}
+        penalties: Dict[int, float] = {}
+        for index in plan.shard_indexes():
+            providers = plan.providers_for(index)
+            if not providers:
+                handle._fail(
+                    InsufficientShardsError(
+                        f"{name}: no surviving replica of shard {index}"
+                    )
+                )
+                return handle
+            shard_sources[index] = providers[0]
+            penalties[index] = cost.lookup_penalty(
+                providers[0].replica.num_replicas, len(providers)
+            )
+
+        total_bytes = float(
+            sum(p.replica.size_bytes for p in shard_sources.values())
+        )
+
+        # The chain: distinct provider nodes, at most ``path_length`` of them.
+        chain: List[DhtNode] = []
+        seen = set()
+        for placed in shard_sources.values():
+            if placed.node.node_id not in seen:
+                chain.append(placed.node)
+                seen.add(placed.node.node_id)
+            if len(chain) == self.path_length:
+                break
+        if not chain:
+            handle._fail(InsufficientShardsError(f"{name}: no chain nodes available"))
+            return handle
+
+        # Assign each shard to a chain node: its holder when the holder is
+        # in the chain, round-robin otherwise (those must prefetch).
+        stage_shards: Dict[int, List[PlacedShard]] = {i: [] for i in range(len(chain))}
+        chain_index = {node.node_id: i for i, node in enumerate(chain)}
+        rr = 0
+        prefetches: List[Dict] = []
+        for index, placed in sorted(shard_sources.items()):
+            holder_pos = chain_index.get(placed.node.node_id)
+            if holder_pos is None:
+                holder_pos = rr % len(chain)
+                rr += 1
+                prefetches.append(
+                    {
+                        "placed": placed,
+                        "target": chain[holder_pos],
+                        "penalty": penalties[index],
+                    }
+                )
+            stage_shards[holder_pos].append(placed)
+
+        involved = {replacement.name} | {node.name for node in chain}
+        progress = {"bytes": 0.0, "stream_done": False, "cpu_done": False}
+
+        def maybe_install() -> None:
+            if not (progress["stream_done"] and progress["cpu_done"]):
+                return
+            install = cost.install_time(total_bytes)
+            ctx.charge_cpu(replacement, sim.now, install, cost.merge_cpu_fraction)
+            sim.schedule(install, finish)
+
+        def finish() -> None:
+            handle._resolve(
+                RecoveryResult(
+                    mechanism=self.name,
+                    state_name=name,
+                    state_bytes=total_bytes,
+                    started_at=started_at,
+                    finished_at=sim.now,
+                    bytes_transferred=progress["bytes"],
+                    nodes_involved=len(involved),
+                    shards_recovered=len(shard_sources),
+                    replacement=replacement.name,
+                    detail={"path_length": float(len(chain))},
+                )
+            )
+
+        def start_pipeline() -> None:
+            # Network: the accumulated state streams through the chain; the
+            # final hop into the replacement carries the full state and is
+            # the governing link (chain links carry prefixes concurrently).
+            def stream_arrived(_flow) -> None:
+                progress["stream_done"] = True
+                maybe_install()
+
+            ctx.network.transfer(
+                chain[-1].host,
+                replacement.host,
+                total_bytes,
+                on_complete=stream_arrived,
+            )
+            # Every chain link i carries the accumulated prefix; account
+            # those bytes (the final hop is already metered by the flow).
+            per_stage = total_bytes / len(chain)
+            for i in range(1, len(chain)):
+                progress["bytes"] += per_stage * i
+            progress["bytes"] += total_bytes
+
+            # CPU: sequential stage work along the chain.
+            def run_stage(i: int) -> None:
+                if i >= len(chain):
+                    progress["cpu_done"] = True
+                    maybe_install()
+                    return
+                node = chain[i]
+                own_bytes = float(
+                    sum(p.replica.size_bytes for p in stage_shards[i])
+                )
+                accumulated = total_bytes * (i + 1) / len(chain)
+                duration = (
+                    cost.stage_setup
+                    + cost.merge_time(own_bytes)
+                    + cost.line_redundant_factor * cost.merge_time(accumulated)
+                )
+                ctx.charge_cpu(node, sim.now, duration, cost.merge_cpu_fraction)
+                ctx.charge_memory(
+                    node,
+                    sim.now,
+                    duration,
+                    accumulated * cost.buffer_memory_factor,
+                )
+                sim.schedule(duration, run_stage, i + 1)
+
+            run_stage(0)
+
+        def start_prefetch() -> None:
+            if not prefetches:
+                start_pipeline()
+                return
+            remaining = {"count": len(prefetches)}
+
+            def one_done(_flow) -> None:
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    start_pipeline()
+
+            for item in prefetches:
+                placed: PlacedShard = item["placed"]
+                progress["bytes"] += placed.replica.size_bytes
+
+                def begin(p=placed, target=item["target"]) -> None:
+                    ctx.network.transfer(
+                        p.node.host, target.host, p.replica.size_bytes,
+                        on_complete=one_done,
+                    )
+
+                sim.schedule(item["penalty"], begin)
+
+        sim.schedule(cost.detection_delay, start_prefetch)
+        return handle

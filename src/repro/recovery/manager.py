@@ -1,0 +1,187 @@
+"""The recovery manager: tracks saved states and orchestrates recoveries.
+
+This is the runtime face of SR3: applications register their states, the
+manager runs save rounds against the overlay, watches for node failures,
+selects a mechanism per application (Sec. 3.7), and drives the recovery of
+every state lost in a failure — including multiple simultaneous failures,
+where independent recoveries proceed in parallel on disjoint provider
+sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.dht.node import DhtNode
+from repro.errors import RecoveryError, StateError
+from repro.recovery.line import LineRecovery
+from repro.recovery.model import (
+    RecoveryContext,
+    RecoveryHandle,
+    RecoveryResult,
+    run_handles,
+)
+from repro.recovery.save import SaveHandle, sr3_save
+from repro.recovery.selection import (
+    SelectionInputs,
+    build_mechanism,
+)
+from repro.recovery.star import StarRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.state.placement import LeafSetPlacement, PlacementPlan
+from repro.state.shard import Shard
+
+MechanismImpl = Union[StarRecovery, LineRecovery, TreeRecovery]
+
+
+@dataclass
+class RegisteredState:
+    """One application state under SR3 protection."""
+
+    state_name: str
+    owner: DhtNode
+    shards: List[Shard]
+    num_replicas: int
+    latency_sensitive: bool = True
+    plan: Optional[PlacementPlan] = None
+    last_save_duration: Optional[float] = None
+
+    @property
+    def state_bytes(self) -> float:
+        return float(sum(s.size_bytes for s in self.shards))
+
+
+@dataclass
+class RecoveryManager:
+    """Registry + orchestration for save and recovery."""
+
+    ctx: RecoveryContext
+    placement: object = field(default_factory=LeafSetPlacement)
+    bandwidth_constrained: bool = False
+    states: Dict[str, RegisteredState] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- register
+
+    def register(
+        self,
+        owner: DhtNode,
+        shards: Sequence[Shard],
+        num_replicas: int = 2,
+        latency_sensitive: bool = True,
+    ) -> RegisteredState:
+        """Put one state under SR3 protection (not yet saved)."""
+        if not shards:
+            raise StateError("cannot register a state with zero shards")
+        name = shards[0].state_name
+        if name in self.states:
+            raise StateError(f"state {name!r} is already registered")
+        registered = RegisteredState(
+            state_name=name,
+            owner=owner,
+            shards=list(shards),
+            num_replicas=num_replicas,
+            latency_sensitive=latency_sensitive,
+        )
+        self.states[name] = registered
+        return registered
+
+    def refresh_shards(self, state_name: str, shards: Sequence[Shard]) -> None:
+        """Replace a registered state's shards ahead of the next save round.
+
+        Long-running operators keep mutating their state; every periodic
+        save re-partitions the current snapshot and refreshes the registry
+        before writing.
+        """
+        if not shards:
+            raise StateError("cannot refresh with zero shards")
+        registered = self._get(state_name)
+        if shards[0].state_name != state_name:
+            raise StateError(
+                f"shards belong to {shards[0].state_name!r}, not {state_name!r}"
+            )
+        registered.shards = list(shards)
+
+    # ----------------------------------------------------------------- save
+
+    def save(self, state_name: str, serial: bool = True) -> SaveHandle:
+        """Start a save round for one registered state."""
+        registered = self._get(state_name)
+        handle = sr3_save(
+            self.ctx,
+            registered.owner,
+            registered.shards,
+            registered.num_replicas,
+            self.placement,
+            serial=serial,
+        )
+
+        def record(result) -> None:
+            registered.plan = result.plan
+            registered.last_save_duration = result.duration
+
+        handle.on_done(record)
+        return handle
+
+    def save_all(self, serial: bool = True) -> List[SaveHandle]:
+        return [self.save(name, serial=serial) for name in sorted(self.states)]
+
+    # ------------------------------------------------------------- recovery
+
+    def mechanism_for(self, state_name: str) -> MechanismImpl:
+        """Select and configure the mechanism for one state (Fig. 7)."""
+        registered = self._get(state_name)
+        mechanism = build_mechanism(
+            SelectionInputs(
+                state_bytes=registered.state_bytes,
+                latency_sensitive=registered.latency_sensitive,
+                bandwidth_constrained=self.bandwidth_constrained,
+            )
+        )
+        if mechanism is None:
+            raise RecoveryError(f"state {state_name!r} resolved as stateless")
+        return mechanism
+
+    def recover(
+        self,
+        state_name: str,
+        replacement: Optional[DhtNode] = None,
+        mechanism: Optional[MechanismImpl] = None,
+    ) -> RecoveryHandle:
+        """Start recovering one state onto a replacement node."""
+        registered = self._get(state_name)
+        if registered.plan is None:
+            raise RecoveryError(f"state {state_name!r} was never saved")
+        if replacement is None:
+            if registered.owner.alive:
+                raise RecoveryError(
+                    f"owner of {state_name!r} is alive; pass a replacement explicitly"
+                )
+            replacement = self.ctx.overlay.replacement_for(registered.owner)
+        chosen = mechanism or self.mechanism_for(state_name)
+        return chosen.start(self.ctx, registered.plan, replacement, state_name)
+
+    def on_failures(self, failed: Sequence[DhtNode]) -> List[RecoveryHandle]:
+        """React to (possibly simultaneous) node failures.
+
+        Every registered state owned by a failed node is recovered onto
+        the node that takes over its key range; recoveries run in parallel
+        inside the simulation.
+        """
+        failed_ids = {node.node_id for node in failed}
+        handles: List[RecoveryHandle] = []
+        for name in sorted(self.states):
+            registered = self.states[name]
+            if registered.owner.node_id in failed_ids:
+                handles.append(self.recover(name))
+        return handles
+
+    def run(self, handles: List[RecoveryHandle]) -> List[RecoveryResult]:
+        """Drive the simulation until the given recoveries complete."""
+        return run_handles(self.ctx.sim, handles)
+
+    def _get(self, state_name: str) -> RegisteredState:
+        try:
+            return self.states[state_name]
+        except KeyError:
+            raise StateError(f"unknown state {state_name!r}") from None

@@ -1,0 +1,194 @@
+"""Shared machinery of all recovery mechanisms: cost model, context, results.
+
+The :class:`CostModel` holds the calibrated constants of the simulation —
+merge throughput, per-shard and per-stage setup costs, detection delay —
+chosen so the *shape* of every figure in the paper's evaluation holds
+(which mechanism wins in which regime, where the crossovers fall). The
+absolute constants are documented here and in DESIGN.md; benchmarks assert
+orderings, never absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dht.node import DhtNode
+from repro.dht.overlay import Overlay
+from repro.errors import RecoveryError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.resources import ResourceProfile
+from repro.util.sizes import MB
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibrated constants of the recovery simulation.
+
+    Rates are bytes/second, delays are seconds. Defaults are calibrated so
+    that, with GbE links and a 100 Mb/s constrained mode, the Fig. 8/9/10
+    orderings reproduce (see ``benchmarks/``).
+    """
+
+    # Failure detection before any mechanism starts moving data.
+    detection_delay: float = 1.0
+    # Hash-table merge throughput when reconstructing state from shards.
+    merge_rate: float = 12.5 * MB
+    # Installing an already-merged state image into the replacement store.
+    install_rate: float = 100.0 * MB
+    # Partitioning a snapshot into shards during save.
+    partition_rate: float = 50.0 * MB
+    # Fixed cost per shard fetched in star recovery (request/queue setup).
+    shard_setup: float = 0.05
+    # Fixed cost per line stage (chain handoff and coordination).
+    stage_setup: float = 0.08
+    # Line recovery recomputes the accumulated prefix at every stage — the
+    # "redundant calculations in their state recovery paths" of Sec. 5.2.
+    # Each stage pays ``redundant_factor * accumulated_bytes / merge_rate``.
+    line_redundant_factor: float = 0.06
+    # Fixed cost per tree level (parent waits, merge scheduling).
+    level_setup: float = 0.05
+    # Building/subscribing the per-shard Scribe aggregation trees.
+    tree_build_base: float = 2.4
+    tree_build_per_member: float = 0.02
+    # Tree aggregation merges concatenate disjoint key ranges, which is
+    # cheaper than hash-table merging; it runs at the install rate.
+    # Fixed cost to write one shard replica during save (request overhead).
+    replica_write_overhead: float = 0.4
+    # Extra routing/lookup cost to locate an alternate replica after a
+    # shard loss (Fig. 10's slight growth with simultaneous failures).
+    replica_lookup_overhead: float = 0.25
+    # CPU fraction a node spends while actively merging (Fig. 12a).
+    merge_cpu_fraction: float = 0.75
+    # CPU fraction spent while sending/receiving a bulk flow.
+    transfer_cpu_fraction: float = 0.15
+    # Memory multiplier for recovery buffers (bytes held per byte merged).
+    buffer_memory_factor: float = 1.3
+
+    def merge_time(self, nbytes: float) -> float:
+        return nbytes / self.merge_rate
+
+    def install_time(self, nbytes: float) -> float:
+        return nbytes / self.install_rate
+
+    def partition_time(self, nbytes: float) -> float:
+        return nbytes / self.partition_rate
+
+    def lookup_penalty(self, num_replicas: int, surviving: int) -> float:
+        """DHT lookup cost to find alternate replicas after shard loss.
+
+        Scales with the fraction of replicas lost: a larger replication
+        factor leaves more nearby copies, so "a larger replication factor
+        can reduce the retrieval time of failed shards" (Sec. 5.2,
+        Fig. 10).
+        """
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        lost = max(0, num_replicas - surviving)
+        return self.replica_lookup_overhead * lost / num_replicas
+
+
+@dataclass
+class RecoveryContext:
+    """Everything a mechanism needs to run: sim, network, overlay, costs."""
+
+    sim: Simulator
+    network: Network
+    overlay: Overlay
+    cost_model: CostModel = field(default_factory=CostModel)
+    profiles: Dict[str, ResourceProfile] = field(default_factory=dict)
+
+    def profile_for(self, node: DhtNode) -> ResourceProfile:
+        """The resource profile of a node, created on first use."""
+        if node.name not in self.profiles:
+            self.profiles[node.name] = ResourceProfile(
+                node.name, baseline_cpu=0.18, baseline_memory=500 * MB
+            )
+        return self.profiles[node.name]
+
+    def charge_cpu(self, node: DhtNode, start: float, duration: float, fraction: float) -> None:
+        if duration > 0:
+            self.profile_for(node).add_cpu(start, start + duration, fraction)
+
+    def charge_memory(self, node: DhtNode, start: float, duration: float, nbytes: float) -> None:
+        if duration > 0 and nbytes > 0:
+            self.profile_for(node).add_memory(start, start + duration, nbytes)
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one completed recovery."""
+
+    mechanism: str
+    state_name: str
+    state_bytes: float
+    started_at: float
+    finished_at: float
+    bytes_transferred: float
+    nodes_involved: int
+    shards_recovered: int
+    replacement: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class RecoveryHandle:
+    """A recovery in flight; resolves to a :class:`RecoveryResult`.
+
+    Mechanisms schedule their event cascade and return a handle; callers
+    run the simulator (alone or alongside other concurrent recoveries) and
+    then read ``handle.result``.
+    """
+
+    def __init__(self, mechanism: str, state_name: str) -> None:
+        self.mechanism = mechanism
+        self.state_name = state_name
+        self._result: Optional[RecoveryResult] = None
+        self._error: Optional[Exception] = None
+        self._callbacks: List[Callable[[RecoveryResult], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None or self._error is not None
+
+    @property
+    def result(self) -> RecoveryResult:
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise RecoveryError(
+                f"recovery of {self.state_name!r} via {self.mechanism} has not finished"
+            )
+        return self._result
+
+    def on_done(self, callback: Callable[[RecoveryResult], None]) -> None:
+        if self._result is not None:
+            callback(self._result)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, result: RecoveryResult) -> None:
+        if self.done:
+            raise RecoveryError(f"handle for {self.state_name!r} resolved twice")
+        self._result = result
+        for callback in self._callbacks:
+            callback(result)
+
+    def _fail(self, error: Exception) -> None:
+        if self.done:
+            raise RecoveryError(f"handle for {self.state_name!r} resolved twice")
+        self._error = error
+
+
+def run_handles(sim: Simulator, handles: List[RecoveryHandle]) -> List[RecoveryResult]:
+    """Drive the simulator until every handle resolves; return results."""
+    sim.run_until_idle()
+    unresolved = [h for h in handles if not h.done]
+    if unresolved:
+        names = [h.state_name for h in unresolved]
+        raise RecoveryError(f"recoveries never completed: {names}")
+    return [h.result for h in handles]

@@ -1,0 +1,162 @@
+"""The SR3 state-save pipeline.
+
+Periodically each node's state is divided into ``m`` shards, each shard is
+replicated ``n`` times, and the replicas are written to peer nodes chosen
+by the placement strategy (Sec. 3.3 Layer 2). The paper's Fig. 8c writes
+replicas to the leaf set *serially* "to enable a fair comparison with the
+checkpointing recovery"; parallel writes are also supported.
+
+The save cost = partition CPU + (replicate + transfer + per-replica write
+overhead) over the network, all executed as simulation events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.dht.node import DhtNode
+from repro.errors import RecoveryError, StateError
+from repro.recovery.model import RecoveryContext
+from repro.state.placement import PlacementPlan
+from repro.state.shard import Shard, ShardReplica
+
+
+@dataclass
+class SaveResult:
+    """Outcome of one completed save round."""
+
+    state_name: str
+    state_bytes: float
+    started_at: float
+    finished_at: float
+    replicas_written: int
+    bytes_transferred: float
+    plan: PlacementPlan
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class SaveHandle:
+    """A save round in flight; resolves to :class:`SaveResult`."""
+
+    def __init__(self, state_name: str) -> None:
+        self.state_name = state_name
+        self._result: Optional[SaveResult] = None
+        self._callbacks: List[Callable[[SaveResult], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> SaveResult:
+        if self._result is None:
+            raise RecoveryError(f"save of {self.state_name!r} has not finished")
+        return self._result
+
+    def on_done(self, callback: Callable[[SaveResult], None]) -> None:
+        if self._result is not None:
+            callback(self._result)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, result: SaveResult) -> None:
+        self._result = result
+        for callback in self._callbacks:
+            callback(result)
+
+
+def sr3_save(
+    ctx: RecoveryContext,
+    owner: DhtNode,
+    shards: Sequence[Shard],
+    num_replicas: int,
+    placement,
+    serial: bool = True,
+) -> SaveHandle:
+    """Start one save round; returns a handle resolving when all writes land.
+
+    ``placement`` is a strategy object (``LeafSetPlacement`` or
+    ``HashPlacement``). The pipeline:
+
+    1. partition CPU on the owner (``state_bytes / partition_rate``),
+    2. per replica: one network flow of the shard's bytes plus a fixed
+       per-replica write overhead, serial or parallel,
+    3. each arrival installs the replica into the target's shard store.
+    """
+    if not shards:
+        raise StateError("cannot save zero shards")
+    from repro.state.partitioner import replicate
+
+    cost = ctx.cost_model
+    sim = ctx.sim
+    state_name = shards[0].state_name
+    state_bytes = float(sum(s.size_bytes for s in shards))
+    replicas = replicate(list(shards), num_replicas)
+    plan = placement.place(owner, replicas, ctx.overlay)
+    handle = SaveHandle(state_name)
+    started_at = sim.now
+
+    partition_time = cost.partition_time(state_bytes)
+    ctx.charge_cpu(owner, started_at, partition_time, cost.merge_cpu_fraction)
+    ctx.charge_memory(owner, started_at, partition_time, state_bytes * 0.5)
+
+    pending = list(plan.placements)
+    total = len(pending)
+    progress = {"written": 0, "acked": 0, "bytes": 0.0}
+
+    def finish() -> None:
+        if handle.done:
+            return
+        handle._resolve(
+            SaveResult(
+                state_name=state_name,
+                state_bytes=state_bytes,
+                started_at=started_at,
+                finished_at=sim.now,
+                replicas_written=progress["written"],
+                bytes_transferred=progress["bytes"],
+                plan=plan,
+            )
+        )
+
+    def write_one(placed, then: Optional[Callable[[], None]]) -> None:
+        replica: ShardReplica = placed.replica
+        target = placed.node
+
+        def arrived(_flow) -> None:
+            target.store_shard(replica.key, replica)
+            progress["written"] += 1
+            progress["bytes"] += replica.size_bytes
+            ctx.charge_cpu(
+                target, sim.now, cost.replica_write_overhead, cost.transfer_cpu_fraction
+            )
+            sim.schedule(cost.replica_write_overhead, ack)
+
+        def ack() -> None:
+            progress["acked"] += 1
+            if then is not None:
+                then()
+            elif progress["acked"] == total:
+                finish()
+
+        ctx.network.transfer(owner.host, target.host, replica.size_bytes, on_complete=arrived)
+
+    def after_partition() -> None:
+        if serial:
+            def chain(index: int) -> None:
+                if index >= total:
+                    finish()
+                    return
+                write_one(pending[index], then=lambda: chain(index + 1))
+
+            chain(0)
+        else:
+            for placed in pending:
+                write_one(placed, then=None)
+
+    sim.schedule(partition_time, after_partition)
+    return handle

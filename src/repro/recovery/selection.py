@@ -1,0 +1,132 @@
+"""The mechanism-selection heuristic (Sec. 3.7, Fig. 7).
+
+SR3 adapts the recovery mechanism to (1) state size, (2) application QoS
+requirements, (3) network environment, and (4) computation model:
+
+- stateless operators: no recovery needed — just restart the pipeline;
+- small state: star-structured recovery in priority;
+- large state, abundant bandwidth: line-structured recovery, adjusting the
+  recovery path length to the state size and latency requirement;
+- large state, constrained bandwidth, latency-insensitive: still line;
+- large state, constrained bandwidth, latency-sensitive: tree-structured
+  recovery, tuning fan-out, depth, and replicas at runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import SelectionError
+from repro.recovery.line import LineRecovery
+from repro.recovery.star import StarRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.util.sizes import MB
+
+
+class Mechanism(enum.Enum):
+    """The recovery mechanism chosen for an application."""
+
+    NONE = "none"  # stateless operator: resume the pipeline
+    STAR = "star"
+    LINE = "line"
+    TREE = "tree"
+
+
+class ComputationModel(enum.Enum):
+    """Streaming execution models (Sec. 3.1)."""
+
+    ASYNC_STREAM = "async_stream"  # Storm-style record-at-a-time
+    MICRO_BATCH = "micro_batch"  # Spark-style synchronous mini-batches
+    HYBRID = "hybrid"  # Naiad-style mixed
+
+
+@dataclass(frozen=True)
+class SelectionInputs:
+    """Everything the heuristic looks at for one application."""
+
+    state_bytes: float
+    stateful: bool = True
+    latency_sensitive: bool = True
+    bandwidth_constrained: bool = False
+    computation_model: ComputationModel = ComputationModel.ASYNC_STREAM
+    # The size above which a state counts as "large" (the paper's examples
+    # put the star/line crossover between 32 and 64 MB).
+    large_state_threshold: float = 32.0 * MB
+
+    def __post_init__(self) -> None:
+        if self.state_bytes < 0:
+            raise SelectionError("state size must be non-negative")
+        if self.large_state_threshold <= 0:
+            raise SelectionError("large_state_threshold must be positive")
+
+
+def select_mechanism(inputs: SelectionInputs) -> Mechanism:
+    """The decision diagram of Fig. 7, as a pure function."""
+    if not inputs.stateful:
+        return Mechanism.NONE
+    if inputs.state_bytes <= inputs.large_state_threshold:
+        return Mechanism.STAR
+    if not inputs.bandwidth_constrained:
+        return Mechanism.LINE
+    if not inputs.latency_sensitive:
+        return Mechanism.LINE
+    return Mechanism.TREE
+
+
+def recommended_path_length(state_bytes: float, latency_sensitive: bool = True) -> int:
+    """Line path length: longer paths distribute larger states.
+
+    "If it needs low latency, choose a short path; when the state is too
+    large to be finished within one or two stages, we need a longer path"
+    (Sec. 3.7 / Fig. 7).
+    """
+    if state_bytes < 0:
+        raise SelectionError("state size must be non-negative")
+    stages = max(2, int(math.ceil(state_bytes / (16.0 * MB))))
+    if latency_sensitive:
+        stages = min(stages, 8)
+    return min(stages, 64)
+
+
+def recommended_tree_fanout_bits(state_bytes: float, expected_failures: int = 1) -> int:
+    """Tree fan-out bit: larger fan-outs for low latency and more failures.
+
+    "Larger fan-out trees can tolerate more concurrent node failures or
+    shard loss" and involve fewer layers (Fig. 9d).
+    """
+    if expected_failures < 0:
+        raise SelectionError("expected_failures must be non-negative")
+    bits = 1
+    if state_bytes > 64 * MB:
+        bits = 2
+    if expected_failures > 4:
+        bits += 1
+    return min(bits, 4)
+
+
+def build_mechanism(
+    inputs: SelectionInputs,
+    expected_failures: int = 1,
+) -> Optional[Union[StarRecovery, LineRecovery, TreeRecovery]]:
+    """Instantiate the selected mechanism with tuned runtime parameters.
+
+    Returns None for stateless operators (nothing to recover).
+    """
+    choice = select_mechanism(inputs)
+    if choice is Mechanism.NONE:
+        return None
+    if choice is Mechanism.STAR:
+        return StarRecovery(fanout_bits=2)
+    if choice is Mechanism.LINE:
+        return LineRecovery(
+            path_length=recommended_path_length(
+                inputs.state_bytes, inputs.latency_sensitive
+            )
+        )
+    return TreeRecovery(
+        fanout_bits=recommended_tree_fanout_bits(inputs.state_bytes, expected_failures),
+        sub_shards=8,
+    )

@@ -1,0 +1,168 @@
+"""Speculative straggler mitigation (the paper's future work, Sec. 6).
+
+"Stragglers are slow nodes ... We plan to explore speculation approach to
+address this challenge, in which speculative backup copies of slow tasks
+could be run in DHT's leaf set nodes."
+
+:class:`SpeculativeStarRecovery` extends star-structured recovery with
+per-shard watchdogs: when a provider has not delivered its shard within
+``straggler_factor`` times the expected transfer time, a backup fetch of
+the same shard starts from an alternate replica holder. Whichever copy
+arrives first wins; the loser's flow is aborted. A straggling provider
+therefore delays recovery by at most the watchdog margin instead of its
+full (possibly unbounded) slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.dht.node import DhtNode
+from repro.errors import InsufficientShardsError
+from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.state.placement import PlacedShard, PlacementPlan
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Watchdog parameters.
+
+    ``straggler_factor`` scales the expected shard transfer time into the
+    watchdog deadline; ``min_wait`` bounds it from below so tiny shards do
+    not speculate on scheduling noise; ``reference_bandwidth`` is the
+    healthy-provider throughput used to compute the expectation.
+    """
+
+    straggler_factor: float = 2.5
+    min_wait: float = 0.5
+    reference_bandwidth: float = 12.5e6
+
+    def __post_init__(self) -> None:
+        if self.straggler_factor <= 1.0:
+            raise ValueError("straggler_factor must exceed 1.0")
+        if self.min_wait < 0:
+            raise ValueError("min_wait must be non-negative")
+        if self.reference_bandwidth <= 0:
+            raise ValueError("reference_bandwidth must be positive")
+
+    def deadline(self, shard_bytes: float) -> float:
+        expected = shard_bytes / self.reference_bandwidth
+        return max(self.min_wait, expected * self.straggler_factor)
+
+
+class SpeculativeStarRecovery:
+    """Star recovery with speculative backup fetches for slow providers."""
+
+    name = "star+speculation"
+
+    def __init__(
+        self,
+        fanout_bits: int = 2,
+        config: SpeculationConfig = SpeculationConfig(),
+    ) -> None:
+        if fanout_bits < 0:
+            raise ValueError("fanout_bits must be non-negative")
+        self.fanout_bits = fanout_bits
+        self.config = config
+
+    def start(
+        self,
+        ctx: RecoveryContext,
+        plan: PlacementPlan,
+        replacement: DhtNode,
+        state_name: Optional[str] = None,
+    ) -> RecoveryHandle:
+        sim = ctx.sim
+        cost = ctx.cost_model
+        name = state_name or plan.placements[0].replica.shard.state_name
+        handle = RecoveryHandle(self.name, name)
+        started_at = sim.now
+
+        shard_indexes = plan.shard_indexes()
+        providers: Dict[int, List[PlacedShard]] = {}
+        for index in shard_indexes:
+            available = plan.providers_for(index)
+            if not available:
+                handle._fail(
+                    InsufficientShardsError(
+                        f"{name}: no surviving replica of shard {index}"
+                    )
+                )
+                return handle
+            providers[index] = available
+
+        total_bytes = float(
+            sum(providers[i][0].replica.size_bytes for i in shard_indexes)
+        )
+        state = {
+            "arrived": set(),  # type: Set[int]
+            "bytes": 0.0,
+            "speculations": 0,
+            "flows": {},  # index -> list of live flows
+        }
+        involved = {replacement.name}
+
+        def fetch(index: int, attempt: int) -> None:
+            pool = providers[index]
+            if attempt >= len(pool):
+                return  # no alternate replica left to try
+            placed = pool[attempt]
+            involved.add(placed.node.name)
+            size = placed.replica.size_bytes
+
+            def arrived(flow) -> None:
+                if index in state["arrived"]:
+                    return  # a racing copy won; ignore
+                state["arrived"].add(index)
+                state["bytes"] += size
+                for other in state["flows"].get(index, []):
+                    if other is not flow and not other.done:
+                        ctx.network.abort_flow(other)
+                if len(state["arrived"]) == len(shard_indexes):
+                    start_merge()
+
+            flow = ctx.network.transfer(
+                placed.node.host, replacement.host, size, on_complete=arrived
+            )
+            state["flows"].setdefault(index, []).append(flow)
+
+            def watchdog() -> None:
+                if index in state["arrived"]:
+                    return
+                if attempt + 1 < len(pool):
+                    state["speculations"] += 1
+                    fetch(index, attempt + 1)
+
+            sim.schedule(self.config.deadline(size), watchdog)
+
+        def start_merge() -> None:
+            merge = cost.merge_time(total_bytes) + cost.shard_setup * len(shard_indexes)
+            install = cost.install_time(total_bytes)
+            ctx.charge_cpu(
+                replacement, sim.now, merge + install, cost.merge_cpu_fraction
+            )
+            sim.schedule(merge + install, finish)
+
+        def finish() -> None:
+            handle._resolve(
+                RecoveryResult(
+                    mechanism=self.name,
+                    state_name=name,
+                    state_bytes=total_bytes,
+                    started_at=started_at,
+                    finished_at=sim.now,
+                    bytes_transferred=state["bytes"],
+                    nodes_involved=len(involved),
+                    shards_recovered=len(shard_indexes),
+                    replacement=replacement.name,
+                    detail={"speculations": float(state["speculations"])},
+                )
+            )
+
+        def launch() -> None:
+            for index in shard_indexes:
+                fetch(index, 0)
+
+        sim.schedule(cost.detection_delay, launch)
+        return handle

@@ -1,0 +1,150 @@
+"""The star-structured recovery mechanism (Sec. 3.4).
+
+Non-overlapping providers from the failed node's leaf set upload one
+replica of each shard directly to the replacing node, which merges them
+into the recovered state. Fast for small state — depth is always one, so
+latency only depends on state size and transmission speed (Fig. 9a) — but
+for large state the replacing node does all downloading and reconstruction
+work, a centralized bottleneck under constrained bandwidth (Fig. 8b).
+
+The *star fan-out bit* ``b`` caps the number of concurrent shard uploads
+at ``2**b``; additional shards queue behind the window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.dht.node import DhtNode
+from repro.errors import InsufficientShardsError
+from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.state.placement import PlacedShard, PlacementPlan
+
+
+class StarRecovery:
+    """Leaf-set parallel fan-in recovery."""
+
+    name = "star"
+
+    def __init__(self, fanout_bits: int = 2) -> None:
+        if fanout_bits < 0:
+            raise ValueError("fanout_bits must be non-negative")
+        self.fanout_bits = fanout_bits
+
+    @property
+    def window(self) -> int:
+        return 1 << self.fanout_bits
+
+    def start(
+        self,
+        ctx: RecoveryContext,
+        plan: PlacementPlan,
+        replacement: DhtNode,
+        state_name: Optional[str] = None,
+    ) -> RecoveryHandle:
+        """Begin recovering the state described by ``plan`` onto ``replacement``."""
+        sim = ctx.sim
+        cost = ctx.cost_model
+        name = state_name or self._state_name_of(plan)
+        handle = RecoveryHandle(self.name, name)
+        started_at = sim.now
+
+        # Pick one alive provider per shard, spreading load across distinct
+        # providers; detect shards whose primary replica was lost (those pay
+        # a DHT lookup to locate an alternate replica — Fig. 10).
+        assignments: List[Dict] = []
+        used_nodes: Set[object] = set()
+        involved: Set[str] = {replacement.name}
+        for index in plan.shard_indexes():
+            providers = plan.providers_for(index)
+            if not providers:
+                handle._fail(
+                    InsufficientShardsError(
+                        f"{name}: no surviving replica of shard {index}"
+                    )
+                )
+                return handle
+            num_replicas = providers[0].replica.num_replicas
+            fresh = [p for p in providers if p.node.node_id not in used_nodes]
+            chosen: PlacedShard = (fresh or providers)[0]
+            used_nodes.add(chosen.node.node_id)
+            involved.add(chosen.node.name)
+            assignments.append(
+                {
+                    "placed": chosen,
+                    "penalty": cost.lookup_penalty(num_replicas, len(providers)),
+                }
+            )
+
+        total_bytes = float(sum(a["placed"].replica.size_bytes for a in assignments))
+        progress = {"next": 0, "arrived": 0, "bytes": 0.0}
+
+        def fetch_next() -> None:
+            if progress["next"] >= len(assignments):
+                return
+            assignment = assignments[progress["next"]]
+            progress["next"] += 1
+            placed: PlacedShard = assignment["placed"]
+            size = placed.replica.size_bytes
+
+            def begin() -> None:
+                ctx.network.transfer(
+                    placed.node.host, replacement.host, size, on_complete=arrived
+                )
+
+            def arrived(_flow) -> None:
+                progress["bytes"] += size
+                progress["arrived"] += 1
+                if progress["arrived"] == len(assignments):
+                    start_merge()
+                else:
+                    fetch_next()
+
+            sim.schedule(assignment["penalty"], begin)
+
+        def start_merge() -> None:
+            # The centralized reconstruction: the replacing node "needs to
+            # do all the downloading and reconstructing work" (Sec. 3.5's
+            # critique of star). The full hash-table rebuild runs on its
+            # CPU only after the last shard lands, then the recovered
+            # state is installed.
+            merge = cost.merge_time(total_bytes) + cost.shard_setup * len(assignments)
+            install = cost.install_time(total_bytes)
+            ctx.charge_cpu(replacement, sim.now, merge + install, cost.merge_cpu_fraction)
+            ctx.charge_memory(
+                replacement,
+                sim.now,
+                merge + install,
+                total_bytes * cost.buffer_memory_factor,
+            )
+            sim.schedule(merge + install, finish)
+
+        def finish() -> None:
+            handle._resolve(
+                RecoveryResult(
+                    mechanism=self.name,
+                    state_name=name,
+                    state_bytes=total_bytes,
+                    started_at=started_at,
+                    finished_at=sim.now,
+                    bytes_transferred=progress["bytes"],
+                    nodes_involved=len(involved),
+                    shards_recovered=len(assignments),
+                    replacement=replacement.name,
+                    detail={"fanout_bits": float(self.fanout_bits)},
+                )
+            )
+
+        def launch() -> None:
+            for _ in range(min(self.window, len(assignments))):
+                fetch_next()
+
+        progress["cpu_free_at"] = started_at + cost.detection_delay
+        sim.schedule(cost.detection_delay, launch)
+        return handle
+
+    @staticmethod
+    def _state_name_of(plan: PlacementPlan) -> str:
+        if not plan.placements:
+            raise InsufficientShardsError("empty placement plan")
+        return plan.placements[0].replica.shard.state_name

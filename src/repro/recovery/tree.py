@@ -1,0 +1,268 @@
+"""The tree-structured recovery mechanism (Sec. 3.6).
+
+Each shard is divided into sub-shards; the sub-shards of every shard are
+aggregated up a Scribe-style spanning tree covering the providing nodes,
+and the reconstructed shards converge on the replacing node (Figs. 5, 6).
+All shard trees run in parallel, every providing node uploads only the
+sub-shards it holds, and merge work is spread across the interior of each
+tree — no centralized bottleneck, and the per-provider upload volume
+respects bandwidth asymmetry.
+
+Tunables mirror the paper's knobs: ``fanout_bits`` sets the per-node
+fan-out to ``2**bits`` (Fig. 9d — larger fan-out, shallower tree, lower
+latency); ``branch_depth`` forces deeper, narrower trees (Fig. 9c — deeper
+means more sequential stages and higher latency).
+
+Because sub-shards are disjoint key ranges, interior merges are range
+concatenations and run at the (fast) install rate; the mechanism's costs
+are dominated by tree construction, per-level handoffs, and the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dht.node import DhtNode
+from repro.errors import InsufficientShardsError
+from repro.multicast.tree import SpanningTree, build_tree, build_tree_with_depth
+from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.state.placement import PlacedShard, PlacementPlan
+
+
+class TreeRecovery:
+    """Scribe-tree parallel aggregation recovery."""
+
+    name = "tree"
+
+    def __init__(
+        self,
+        fanout_bits: int = 1,
+        branch_depth: Optional[int] = None,
+        sub_shards: int = 8,
+        scribe=None,
+    ) -> None:
+        """``scribe`` optionally supplies a
+        :class:`~repro.multicast.scribe.ScribeSystem`: each shard then
+        aggregates over a real Scribe topic tree (the route-union tree of
+        its providers), matching the prototype's implementation "on top of
+        Scribe's topic-based publish/subscribe trees" (Sec. 4). Without
+        it, a balanced tree with the configured fan-out/depth is built
+        directly — same asymptotics, full control over the knobs.
+        """
+        if fanout_bits < 0:
+            raise ValueError("fanout_bits must be non-negative")
+        if branch_depth is not None and branch_depth < 1:
+            raise ValueError("branch_depth must be at least 1")
+        if sub_shards < 1:
+            raise ValueError("sub_shards must be at least 1")
+        self.fanout_bits = fanout_bits
+        self.branch_depth = branch_depth
+        self.sub_shards = sub_shards
+        self.scribe = scribe
+
+    def start(
+        self,
+        ctx: RecoveryContext,
+        plan: PlacementPlan,
+        replacement: DhtNode,
+        state_name: Optional[str] = None,
+    ) -> RecoveryHandle:
+        sim = ctx.sim
+        cost = ctx.cost_model
+        name = state_name or plan.placements[0].replica.shard.state_name
+        handle = RecoveryHandle(self.name, name)
+        started_at = sim.now
+
+        shard_indexes = plan.shard_indexes()
+        trees: List[Dict] = []
+        total_bytes = 0.0
+        involved = {replacement.name}
+        for index in shard_indexes:
+            providers = plan.providers_for(index)
+            if not providers:
+                handle._fail(
+                    InsufficientShardsError(
+                        f"{name}: no surviving replica of shard {index}"
+                    )
+                )
+                return handle
+            shard_bytes = providers[0].replica.size_bytes
+            total_bytes += shard_bytes
+            members = self._tree_members(ctx, providers, replacement)
+            involved.update(node.name for node in members)
+            # Members that are not replica holders fetch their sub-shard
+            # from the surviving providers first; each provider serves its
+            # share of those requests serially, so losing replicas
+            # concentrates the request load (the slight growth of Fig. 10).
+            provider_ids = {p.node.node_id for p in providers}
+            holders = sum(1 for m in members if m.node_id in provider_ids)
+            fetchers = len(members) - holders
+            fetch_overhead = cost.shard_setup * -(-fetchers // max(1, holders))
+            trees.append(
+                {
+                    "index": index,
+                    "bytes": float(shard_bytes),
+                    "members": members,
+                    "penalty": cost.lookup_penalty(
+                        providers[0].replica.num_replicas, len(providers)
+                    )
+                    + fetch_overhead,
+                }
+            )
+
+        progress = {
+            "bytes": 0.0,
+            "delivered": 0,
+            "cpu_free_at": started_at + cost.detection_delay,
+        }
+
+        def finish() -> None:
+            tree_height = max(t["tree"].height() for t in trees) if trees else 0
+            handle._resolve(
+                RecoveryResult(
+                    mechanism=self.name,
+                    state_name=name,
+                    state_bytes=total_bytes,
+                    started_at=started_at,
+                    finished_at=sim.now,
+                    bytes_transferred=progress["bytes"],
+                    nodes_involved=len(involved),
+                    shards_recovered=len(trees),
+                    replacement=replacement.name,
+                    detail={
+                        "fanout_bits": float(self.fanout_bits),
+                        "tree_height": float(tree_height),
+                    },
+                )
+            )
+
+        def deliver_shard(tree_info: Dict) -> None:
+            """Root finished aggregating: ship the shard to the replacement."""
+
+            def arrived(_flow) -> None:
+                progress["bytes"] += tree_info["bytes"]
+                install_start = max(sim.now, progress["cpu_free_at"])
+                duration = cost.install_time(tree_info["bytes"])
+                progress["cpu_free_at"] = install_start + duration
+                ctx.charge_cpu(
+                    replacement, install_start, duration, cost.merge_cpu_fraction
+                )
+                sim.schedule_at(progress["cpu_free_at"], installed)
+
+            def installed() -> None:
+                progress["delivered"] += 1
+                if progress["delivered"] == len(trees):
+                    finish()
+
+            root: DhtNode = tree_info["tree"].root
+            ctx.network.transfer(
+                root.host, replacement.host, tree_info["bytes"], on_complete=arrived
+            )
+
+        def run_tree(tree_info: Dict) -> None:
+            members: List[DhtNode] = tree_info["members"]
+            root = members[0]
+            if self.scribe is not None:
+                # The prototype's path: one Scribe topic per shard; the
+                # aggregation tree is the route-union tree of the members.
+                topic_name = f"sr3/{name}/shard-{tree_info['index']}"
+                self.scribe.create_topic(topic_name)
+                for member in members:
+                    self.scribe.subscribe(topic_name, member)
+                tree = self.scribe.topics[topic_name].tree
+            elif self.branch_depth is not None:
+                tree = build_tree_with_depth(root, members[1:], self.branch_depth)
+            else:
+                tree = build_tree(root, members[1:], 1 << self.fanout_bits)
+            tree_info["tree"] = tree
+            sub_bytes = tree_info["bytes"] / len(members)
+            contributors = {node.node_id for node in members}
+            # Aggregate bottom-up: a node sends its accumulated range to its
+            # parent once all of its children have delivered. Scribe trees
+            # may contain pure forwarders, which contribute no sub-shard.
+            waiting = {node: len(tree.children(node)) for node in tree.members()}
+            aggregate = {
+                node: (sub_bytes if node.node_id in contributors else 0.0)
+                for node in tree.members()
+            }
+
+            def node_ready(node: DhtNode) -> None:
+                if node is tree.root:
+                    deliver_shard(tree_info)
+                    return
+                parent = tree.parent(node)
+                payload = aggregate[node]
+
+                def arrived(_flow, n=node, p=parent, size=payload) -> None:
+                    progress["bytes"] += size
+                    # Range concatenation at the parent + level handoff.
+                    duration = cost.level_setup + size / cost.install_rate
+                    ctx.charge_cpu(p, sim.now, duration, cost.merge_cpu_fraction)
+                    ctx.charge_memory(
+                        p, sim.now, duration, size * cost.buffer_memory_factor
+                    )
+
+                    def merged() -> None:
+                        aggregate[p] += size
+                        waiting[p] -= 1
+                        if waiting[p] == 0:
+                            node_ready(p)
+
+                    sim.schedule(duration, merged)
+
+                ctx.network.transfer(node.host, parent.host, payload, on_complete=arrived)
+
+            for leaf in tree.leaves():
+                if leaf is tree.root:
+                    deliver_shard(tree_info)
+                else:
+                    node_ready(leaf)
+
+        def launch() -> None:
+            for tree_info in trees:
+                build_time = (
+                    cost.tree_build_base
+                    + cost.tree_build_per_member * len(tree_info["members"])
+                    + tree_info["penalty"]
+                )
+                sim.schedule(build_time, run_tree, tree_info)
+
+        sim.schedule(cost.detection_delay, launch)
+        return handle
+
+    def _tree_members(
+        self,
+        ctx: RecoveryContext,
+        providers: List[PlacedShard],
+        replacement: DhtNode,
+    ) -> List[DhtNode]:
+        """Pick the nodes contributing one sub-shard each to a shard tree.
+
+        Providers holding the shard come first (the root is a provider);
+        if the tree needs more members than there are distinct providers,
+        peer nodes from the overlay serve the remaining sub-shards (they
+        fetch them from providers as part of tree construction — covered
+        by the per-member build cost).
+        """
+        target = (
+            max(self.sub_shards, self.branch_depth)
+            if self.branch_depth is not None
+            else self.sub_shards
+        )
+        members: List[DhtNode] = []
+        seen = set()
+        for placed in providers:
+            if placed.node.node_id not in seen and placed.node.alive:
+                members.append(placed.node)
+                seen.add(placed.node.node_id)
+            if len(members) == target:
+                return members
+        extra_needed = target - len(members)
+        if extra_needed > 0:
+            exclude = members + [replacement]
+            pool_size = len(ctx.overlay.alive_nodes()) - len(exclude)
+            extra = ctx.overlay.sample_nodes(min(extra_needed, max(0, pool_size)), exclude)
+            members.extend(extra)
+        if not members:
+            raise InsufficientShardsError("no tree members available")
+        return members

@@ -1,0 +1,125 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event loop: events are (time, sequence) ordered,
+callbacks run with the virtual clock already advanced to their firing time.
+Everything in the reproduction that needs time — network transfers, merge
+CPU costs, DHT maintenance pings, failure injection — is scheduled here, so
+experiment latencies are exact simulated seconds rather than noisy wall
+time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback. Cancel via :meth:`Simulator.cancel`."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, {name}, cancelled={self.cancelled})"
+
+
+class Simulator:
+    """The virtual clock and event queue.
+
+    Determinism: ties in firing time break by scheduling order, and the
+    kernel itself never consults wall-clock time or global randomness.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed so far (for overhead accounting)."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a pending event; cancelling None or twice is harmless."""
+        if event is not None:
+            event.cancelled = True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events in order until the queue drains or ``until`` is reached.
+
+        Returns the virtual time at which the loop stopped. ``max_events``
+        guards against accidental infinite self-rescheduling loops.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.time < self._now - 1e-9:
+                    raise SimulationError(
+                        f"event queue corrupted: event at {event.time} < now {self._now}"
+                    )
+                self._now = max(self._now, event.time)
+                event.callback(*event.args)
+                self._processed += 1
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}; likely a loop")
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Drain every pending event; returns final virtual time."""
+        return self.run(until=None, max_events=max_events)

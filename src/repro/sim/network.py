@@ -1,0 +1,371 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Every host has independent upload and download capacities (bytes/second),
+mirroring the bandwidth asymmetry of cloud environments that the paper's
+tree-structured mechanism is designed around (Sec. 3.6). A bulk transfer is
+a *flow*; at any instant each flow receives its max-min fair share of the
+source's upload capacity and the destination's download capacity, computed
+by progressive water-filling and recomputed whenever a flow starts or
+finishes.
+
+Small control messages (DHT maintenance pings, routing messages) bypass the
+flow machinery through :meth:`Network.send_control`: they are charged to
+byte counters and delivered after one propagation latency, which is how the
+paper measures the pure maintenance overhead of Fig. 12c.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import NetworkError
+from repro.sim.kernel import Event, Simulator
+
+_EPSILON_BYTES = 1e-6
+
+
+class Host:
+    """A simulated machine with asymmetric network capacity.
+
+    ``up_bw``/``down_bw`` are in bytes per second; ``math.inf`` means the
+    direction is unconstrained (the paper's "no bandwidth constraint"
+    configuration of Fig. 8a).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        up_bw: float = math.inf,
+        down_bw: float = math.inf,
+        latency: float = 0.0005,
+    ) -> None:
+        if up_bw <= 0 or down_bw <= 0:
+            raise NetworkError(f"host {name}: bandwidth must be positive")
+        if latency < 0:
+            raise NetworkError(f"host {name}: latency must be non-negative")
+        self.name = name
+        self.up_bw = up_bw
+        self.down_bw = down_bw
+        self.latency = latency
+        self.alive = True
+        self.bytes_sent = 0.0
+        self.bytes_received = 0.0
+        self.control_bytes_sent = 0.0
+        self.control_bytes_received = 0.0
+        self.active_out: Set["Flow"] = set()
+        self.active_in: Set["Flow"] = set()
+
+    def __repr__(self) -> str:
+        return f"Host({self.name})"
+
+
+class Flow:
+    """One bulk transfer in flight between two hosts."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "size",
+        "remaining",
+        "rate",
+        "on_complete",
+        "on_abort",
+        "tag",
+        "started_at",
+        "admitted_at",
+        "completed_at",
+        "aborted",
+        "_last_update",
+    )
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        size: float,
+        on_complete: Optional[Callable[["Flow"], None]],
+        on_abort: Optional[Callable[["Flow"], None]],
+        tag: Optional[str],
+        started_at: float,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.on_complete = on_complete
+        self.on_abort = on_abort
+        self.tag = tag
+        self.started_at = started_at
+        self.admitted_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self.aborted = False
+        self._last_update = started_at
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow({self.src.name}->{self.dst.name}, {self.size:.0f}B, "
+            f"remaining={self.remaining:.0f}B, rate={self.rate:.0f}B/s)"
+        )
+
+
+class Network:
+    """The shared network connecting all hosts of one simulation."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.hosts: Dict[str, Host] = {}
+        self._flows: Set[Flow] = set()
+        self._completion_event: Optional[Event] = None
+        self.total_bytes = 0.0
+        self.total_control_bytes = 0.0
+        self.completed_flows = 0
+
+    # ------------------------------------------------------------------ hosts
+
+    def add_host(
+        self,
+        name: str,
+        up_bw: float = math.inf,
+        down_bw: float = math.inf,
+        latency: float = 0.0005,
+    ) -> Host:
+        """Register a host; names must be unique within the network."""
+        if name in self.hosts:
+            raise NetworkError(f"duplicate host name: {name}")
+        host = Host(name, up_bw=up_bw, down_bw=down_bw, latency=latency)
+        self.hosts[name] = host
+        return host
+
+    def fail_host(self, host: Host) -> None:
+        """Crash a host: all flows touching it abort immediately."""
+        host.alive = False
+        victims = [f for f in self._flows if f.src is host or f.dst is host]
+        self._settle_progress()
+        for flow in victims:
+            self._remove_flow(flow)
+            flow.aborted = True
+            if flow.on_abort is not None:
+                flow.on_abort(flow)
+        self._recompute_rates()
+
+    def recover_host(self, host: Host) -> None:
+        """Bring a crashed host back (replacement node taking its place)."""
+        host.alive = True
+
+    # ------------------------------------------------------------------ flows
+
+    def transfer(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: float,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        on_abort: Optional[Callable[[Flow], None]] = None,
+        tag: Optional[str] = None,
+    ) -> Flow:
+        """Start a bulk transfer of ``nbytes`` from ``src`` to ``dst``.
+
+        The flow is admitted after one propagation latency and then shares
+        bandwidth fairly with every concurrent flow. ``on_complete`` fires
+        with the flow once the last byte arrives.
+        """
+        if not src.alive or not dst.alive:
+            raise NetworkError(f"transfer between dead hosts: {src.name}->{dst.name}")
+        if nbytes < 0:
+            raise NetworkError("transfer size must be non-negative")
+        flow = Flow(src, dst, nbytes, on_complete, on_abort, tag, self.sim.now)
+        propagation = src.latency + dst.latency
+        self.sim.schedule(propagation, self._admit, flow)
+        return flow
+
+    def _admit(self, flow: Flow) -> None:
+        if flow.aborted or not flow.src.alive or not flow.dst.alive:
+            flow.aborted = True
+            if flow.on_abort is not None:
+                flow.on_abort(flow)
+            return
+        self._settle_progress()
+        flow.admitted_at = self.sim.now
+        flow._last_update = self.sim.now
+        if flow.remaining <= _EPSILON_BYTES:
+            self._finish_flow(flow)
+            return
+        self._flows.add(flow)
+        flow.src.active_out.add(flow)
+        flow.dst.active_in.add(flow)
+        self._recompute_rates()
+
+    def abort_flow(self, flow: Flow) -> None:
+        """Cancel an in-flight (or not yet admitted) transfer."""
+        if flow.done or flow.aborted:
+            return
+        self._settle_progress()
+        if flow in self._flows:
+            self._remove_flow(flow)
+        flow.aborted = True
+        if flow.on_abort is not None:
+            flow.on_abort(flow)
+        self._recompute_rates()
+
+    # ------------------------------------------------------------ control msgs
+
+    def send_control(
+        self,
+        src: Host,
+        dst: Host,
+        nbytes: float,
+        on_delivery: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Deliver a small control message after one propagation latency.
+
+        Control traffic is excluded from bandwidth sharing (it is tiny) but
+        fully accounted in the per-host and global control-byte counters
+        used to reproduce the maintenance-overhead experiment (Fig. 12c).
+        """
+        if nbytes < 0:
+            raise NetworkError("control message size must be non-negative")
+        src.control_bytes_sent += nbytes
+        dst.control_bytes_received += nbytes
+        self.total_control_bytes += nbytes
+        if on_delivery is not None:
+            if not dst.alive:
+                return
+            self.sim.schedule(src.latency + dst.latency, lambda: on_delivery())
+
+    # ---------------------------------------------------------------- internal
+
+    def _settle_progress(self) -> None:
+        """Advance every flow's remaining-byte count to the current instant."""
+        now = self.sim.now
+        for flow in self._flows:
+            elapsed = now - flow._last_update
+            if math.isinf(flow.rate):
+                # Unconstrained path: the transfer completes instantly.
+                moved = flow.remaining
+            elif elapsed > 0 and flow.rate > 0:
+                moved = min(flow.remaining, flow.rate * elapsed)
+            else:
+                moved = 0.0
+            if moved > 0:
+                flow.remaining -= moved
+                flow.src.bytes_sent += moved
+                flow.dst.bytes_received += moved
+                self.total_bytes += moved
+            flow._last_update = now
+
+    def _remove_flow(self, flow: Flow) -> None:
+        self._flows.discard(flow)
+        flow.src.active_out.discard(flow)
+        flow.dst.active_in.discard(flow)
+
+    def _finish_flow(self, flow: Flow) -> None:
+        flow.completed_at = self.sim.now
+        flow.remaining = 0.0
+        self.completed_flows += 1
+        if flow.on_complete is not None:
+            flow.on_complete(flow)
+
+    def _recompute_rates(self) -> None:
+        """Max-min fair allocation by progressive water-filling."""
+        if self._completion_event is not None:
+            self.sim.cancel(self._completion_event)
+            self._completion_event = None
+        if not self._flows:
+            return
+
+        residual: Dict[tuple, float] = {}
+        members: Dict[tuple, List[Flow]] = {}
+        for flow in self._flows:
+            up_key = ("up", flow.src.name)
+            down_key = ("down", flow.dst.name)
+            residual.setdefault(up_key, flow.src.up_bw)
+            residual.setdefault(down_key, flow.dst.down_bw)
+            members.setdefault(up_key, []).append(flow)
+            members.setdefault(down_key, []).append(flow)
+
+        unfixed = set(self._flows)
+        rates: Dict[Flow, float] = {}
+        while unfixed:
+            bottleneck_share = math.inf
+            for key, cap in residual.items():
+                active = [f for f in members[key] if f in unfixed]
+                if not active:
+                    continue
+                share = cap / len(active)
+                if share < bottleneck_share:
+                    bottleneck_share = share
+            if math.isinf(bottleneck_share):
+                for flow in unfixed:
+                    rates[flow] = math.inf
+                break
+            newly_fixed = set()
+            for key, cap in list(residual.items()):
+                active = [f for f in members[key] if f in unfixed]
+                if active and cap / len(active) <= bottleneck_share * (1 + 1e-12):
+                    newly_fixed.update(active)
+            if not newly_fixed:
+                raise NetworkError("water-filling failed to make progress")
+            for flow in newly_fixed:
+                rates[flow] = bottleneck_share
+                unfixed.discard(flow)
+                residual[("up", flow.src.name)] -= bottleneck_share
+                residual[("down", flow.dst.name)] -= bottleneck_share
+            for key in residual:
+                residual[key] = max(0.0, residual[key])
+
+        next_completion = math.inf
+        for flow in self._flows:
+            flow.rate = rates.get(flow, 0.0)
+            if flow.rate > 0:
+                if math.isinf(flow.rate):
+                    finish = self.sim.now
+                else:
+                    finish = self.sim.now + flow.remaining / flow.rate
+                next_completion = min(next_completion, finish)
+        if not math.isinf(next_completion):
+            delay = max(0.0, next_completion - self.sim.now)
+            self._completion_event = self.sim.schedule(delay, self._on_completion_tick)
+
+    def _on_completion_tick(self) -> None:
+        self._completion_event = None
+        self._settle_progress()
+        finished = [f for f in self._flows if f.remaining <= _EPSILON_BYTES]
+        for flow in finished:
+            self._remove_flow(flow)
+        for flow in finished:
+            self._finish_flow(flow)
+        self._recompute_rates()
+
+
+class RemoteStorage(Host):
+    """A remote checkpoint store (HDFS/GFS/KV-store stand-in).
+
+    Beyond link bandwidth, every read or write pays a fixed per-request
+    overhead, modelling the two-orders-of-magnitude gap between in-memory
+    message rates and remote key-value request rates cited in Sec. 2.1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        up_bw: float,
+        down_bw: float,
+        request_overhead: float = 0.05,
+        latency: float = 0.005,
+    ) -> None:
+        super().__init__(name, up_bw=up_bw, down_bw=down_bw, latency=latency)
+        if request_overhead < 0:
+            raise NetworkError("request_overhead must be non-negative")
+        self.request_overhead = request_overhead
+        self.requests_served = 0
+
+    def charge_request(self) -> float:
+        """Account one request; returns the overhead to add to its latency."""
+        self.requests_served += 1
+        return self.request_overhead

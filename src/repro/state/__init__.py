@@ -1,0 +1,35 @@
+"""State layer: operator state, shards, replication, placement, versions.
+
+Layer 2 of the SR3 design (Sec. 3.3): each operator's state lives in an
+in-memory hashtable; periodically it is divided into ``m`` shards, each
+replicated ``n`` times and distributed to peer nodes so that, on failure,
+different sets of available shards reconstruct the lost state in parallel.
+"""
+
+from repro.state.version import StateVersion, VersionClock
+from repro.state.store import StateSnapshot, StateStore
+from repro.state.shard import Shard, ShardReplica, SubShard
+from repro.state.partitioner import merge_shards, partition_snapshot, partition_synthetic
+from repro.state.placement import (
+    HashPlacement,
+    LeafSetPlacement,
+    PlacedShard,
+    PlacementPlan,
+)
+
+__all__ = [
+    "StateVersion",
+    "VersionClock",
+    "StateSnapshot",
+    "StateStore",
+    "Shard",
+    "ShardReplica",
+    "SubShard",
+    "merge_shards",
+    "partition_snapshot",
+    "partition_synthetic",
+    "HashPlacement",
+    "LeafSetPlacement",
+    "PlacedShard",
+    "PlacementPlan",
+]

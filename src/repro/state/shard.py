@@ -1,0 +1,188 @@
+"""Shards, sub-shards, and replicas.
+
+A save round divides a state snapshot into ``m`` shards (Fig. 3's
+``s_0..s_{m-1}``); each shard is replicated ``n`` times (``s_{i,r}``); the
+tree-structured mechanism further splits each shard into sub-shards
+(``s_{i,j,r}``, Fig. 5) so reconstruction parallelizes below shard
+granularity. Shards either carry real entries (streaming-engine states) or
+are *synthetic* — metadata plus a byte size — so experiments can model the
+paper's multi-megabyte states without materializing them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ShardError
+from repro.state.version import StateVersion
+
+
+def _entries_checksum(entries: Dict[Any, Any]) -> str:
+    digest = hashlib.sha256()
+    for key in sorted(entries, key=repr):
+        digest.update(repr(key).encode("utf-8"))
+        digest.update(b"=")
+        digest.update(repr(entries[key]).encode("utf-8"))
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplicaKey:
+    """Globally unique identity of one stored shard replica."""
+
+    state_name: str
+    shard_index: int
+    replica_index: int
+
+    def __repr__(self) -> str:
+        return f"{self.state_name}/s{self.shard_index}.r{self.replica_index}"
+
+
+class Shard:
+    """One horizontal partition of a state snapshot."""
+
+    def __init__(
+        self,
+        state_name: str,
+        index: int,
+        num_shards: int,
+        version: StateVersion,
+        entries: Optional[Dict[Any, Any]] = None,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        if not 0 <= index < num_shards:
+            raise ShardError(f"shard index {index} out of range for m={num_shards}")
+        if entries is None and size_bytes is None:
+            raise ShardError("a shard needs either entries or an explicit size")
+        self.state_name = state_name
+        self.index = index
+        self.num_shards = num_shards
+        self.version = version
+        self.entries = entries
+        if size_bytes is not None:
+            self.size_bytes = int(size_bytes)
+        else:
+            from repro.state.store import estimate_entry_bytes
+
+            self.size_bytes = sum(estimate_entry_bytes(k, v) for k, v in entries.items())
+        self.checksum = (
+            _entries_checksum(entries)
+            if entries is not None
+            else hashlib.sha256(
+                f"{state_name}/{index}/{num_shards}/{version!r}/{self.size_bytes}".encode()
+            ).hexdigest()
+        )
+
+    @property
+    def synthetic(self) -> bool:
+        """True when the shard models size only (no materialized entries)."""
+        return self.entries is None
+
+    @classmethod
+    def synthetic_shard(
+        cls,
+        state_name: str,
+        index: int,
+        num_shards: int,
+        version: StateVersion,
+        size_bytes: int,
+    ) -> "Shard":
+        """A size-only shard for large-state experiments."""
+        if size_bytes < 0:
+            raise ShardError("shard size must be non-negative")
+        return cls(state_name, index, num_shards, version, entries=None, size_bytes=size_bytes)
+
+    def verify(self) -> bool:
+        """Recompute and compare the checksum (materialized shards only)."""
+        if self.entries is None:
+            return True
+        return _entries_checksum(self.entries) == self.checksum
+
+    def sub_shards(self, count: int) -> List["SubShard"]:
+        """Split into ``count`` sub-shards for tree-structured recovery."""
+        if count <= 0:
+            raise ShardError("sub-shard count must be positive")
+        if self.entries is not None:
+            keys = sorted(self.entries, key=repr)
+            buckets: List[Dict[Any, Any]] = [{} for _ in range(count)]
+            for i, key in enumerate(keys):
+                buckets[i % count][key] = self.entries[key]
+            return [
+                SubShard(self, j, count, entries=bucket)
+                for j, bucket in enumerate(buckets)
+            ]
+        base = self.size_bytes // count
+        remainder = self.size_bytes - base * count
+        return [
+            SubShard(self, j, count, size_bytes=base + (1 if j < remainder else 0))
+            for j in range(count)
+        ]
+
+    def __repr__(self) -> str:
+        kind = "synthetic" if self.synthetic else f"{len(self.entries)} entries"
+        return (
+            f"Shard({self.state_name!r}, {self.index}/{self.num_shards}, "
+            f"{self.size_bytes}B, {kind})"
+        )
+
+
+class SubShard:
+    """A fraction of one shard (``s_{i,j}`` in Fig. 5)."""
+
+    def __init__(
+        self,
+        parent: Shard,
+        sub_index: int,
+        num_sub_shards: int,
+        entries: Optional[Dict[Any, Any]] = None,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        if not 0 <= sub_index < num_sub_shards:
+            raise ShardError(
+                f"sub-shard index {sub_index} out of range for {num_sub_shards}"
+            )
+        self.parent = parent
+        self.sub_index = sub_index
+        self.num_sub_shards = num_sub_shards
+        self.entries = entries
+        if size_bytes is not None:
+            self.size_bytes = int(size_bytes)
+        elif entries is not None:
+            from repro.state.store import estimate_entry_bytes
+
+            self.size_bytes = sum(estimate_entry_bytes(k, v) for k, v in entries.items())
+        else:
+            raise ShardError("a sub-shard needs either entries or a size")
+
+    def __repr__(self) -> str:
+        return (
+            f"SubShard({self.parent.state_name!r}, s{self.parent.index}."
+            f"{self.sub_index}/{self.num_sub_shards}, {self.size_bytes}B)"
+        )
+
+
+class ShardReplica:
+    """One stored copy of a shard on a peer node."""
+
+    def __init__(self, shard: Shard, replica_index: int, num_replicas: int) -> None:
+        if not 0 <= replica_index < num_replicas:
+            raise ShardError(
+                f"replica index {replica_index} out of range for n={num_replicas}"
+            )
+        self.shard = shard
+        self.replica_index = replica_index
+        self.num_replicas = num_replicas
+
+    @property
+    def key(self) -> ReplicaKey:
+        return ReplicaKey(self.shard.state_name, self.shard.index, self.replica_index)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.shard.size_bytes
+
+    def __repr__(self) -> str:
+        return f"ShardReplica({self.key!r}, {self.size_bytes}B)"

@@ -1,0 +1,264 @@
+"""The local topology executor.
+
+Runs a topology deterministically in-process: each component is
+instantiated once per task (its declared parallelism), spout emissions are
+routed through the DAG breadth-first, and groupings choose destination
+tasks exactly as Storm would. Terminal components' outputs are captured
+for inspection.
+
+Failure injection for integration tests: :meth:`kill_task` discards a
+task's live instance (losing its in-memory state, like a crashed worker);
+with an :class:`~repro.streaming.backend.SR3StateBackend` attached, the
+cluster recovers the lost store through SR3 and resumes processing.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StreamRuntimeError, TopologyError
+from repro.streaming.backend import SR3StateBackend
+from repro.streaming.component import OutputCollector, Spout, TaskContext
+from repro.streaming.stateful import StatefulBolt
+from repro.streaming.topology import Topology
+from repro.streaming.tuples import StreamTuple
+
+TaskKey = Tuple[str, int]
+
+
+class LocalCluster:
+    """Deterministic single-process topology runtime."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        backend: Optional[SR3StateBackend] = None,
+        capture_outputs: bool = True,
+        output_cap: int = 100_000,
+    ) -> None:
+        self.topology = topology
+        self.backend = backend
+        self.capture_outputs = capture_outputs
+        self.output_cap = output_cap
+        self._tasks: Dict[TaskKey, Any] = {}
+        self._collectors: Dict[TaskKey, OutputCollector] = {}
+        self._spout_done: Dict[TaskKey, bool] = {}
+        self.outputs: Dict[str, List[StreamTuple]] = {}
+        self.executed_counts: Dict[str, int] = {}
+        self._terminal = {
+            cid for cid in topology.component_ids() if not topology.downstream_of(cid)
+        }
+        self._instantiate()
+
+    # ----------------------------------------------------------------- setup
+
+    def _instantiate(self) -> None:
+        for component_id in self.topology.component_ids():
+            spec = self.topology.spec(component_id)
+            fields = tuple(spec.component.declare_output_fields())
+            for index in range(spec.parallelism):
+                key = (component_id, index)
+                # A single-task component runs as the declared instance;
+                # parallel components need independent (deep-copied) tasks.
+                if spec.parallelism == 1:
+                    instance = spec.component
+                else:
+                    instance = copy.deepcopy(spec.component)
+                context = TaskContext(component_id, index, spec.parallelism)
+                instance.prepare(context)
+                self._tasks[key] = instance
+                self._collectors[key] = OutputCollector(component_id, fields)
+                if isinstance(instance, Spout):
+                    self._spout_done[key] = False
+        for component_id in self.topology.component_ids():
+            self.executed_counts[component_id] = 0
+        if self.capture_outputs:
+            for component_id in self._terminal:
+                self.outputs[component_id] = []
+
+    def task(self, component_id: str, index: int = 0):
+        """The live instance of one task (for state inspection in tests)."""
+        try:
+            return self._tasks[(component_id, index)]
+        except KeyError:
+            raise TopologyError(f"unknown task {component_id}[{index}]") from None
+
+    def stateful_tasks(self) -> Dict[TaskKey, StatefulBolt]:
+        return {
+            key: inst for key, inst in self._tasks.items() if isinstance(inst, StatefulBolt)
+        }
+
+    # ------------------------------------------------------------- execution
+
+    def run(
+        self,
+        max_emissions: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> int:
+        """Pump spouts round-robin until exhausted (or the emission cap).
+
+        ``checkpoint_every`` enables SR3's periodic state saving
+        ("SR3 periodically saves state into the DHT-based ring overlay for
+        all stateful operators", Sec. 4): every that-many producing spout
+        invocations, all protected task states are saved into the overlay.
+        Returns the number of spout invocations that produced tuples.
+        """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise StreamRuntimeError("checkpoint_every must be positive")
+            if self.backend is None:
+                raise StreamRuntimeError(
+                    "periodic checkpointing needs an SR3 backend"
+                )
+        emissions = 0
+        spout_keys = sorted(self._spout_done)
+        while True:
+            if max_emissions is not None and emissions >= max_emissions:
+                break
+            active = [k for k in spout_keys if not self._spout_done[k]]
+            if not active:
+                break
+            for key in active:
+                if max_emissions is not None and emissions >= max_emissions:
+                    break
+                if self._pump_spout(key):
+                    emissions += 1
+                    if checkpoint_every is not None and emissions % checkpoint_every == 0:
+                        self.checkpoint()
+        return emissions
+
+    def _pump_spout(self, key: TaskKey) -> bool:
+        spout = self._tasks[key]
+        collector = self._collectors[key]
+        alive = spout.next_tuple(collector)
+        if not alive:
+            self._spout_done[key] = True
+        produced = collector.drain()
+        component_id = key[0]
+        self.executed_counts[component_id] += 1
+        for tuple_ in produced:
+            self._route(component_id, tuple_)
+        return bool(produced)
+
+    def _route(self, source_id: str, root_tuple: StreamTuple) -> None:
+        """Push one emission through the DAG breadth-first."""
+        queue: deque = deque([(source_id, root_tuple)])
+        while queue:
+            component_id, tuple_ = queue.popleft()
+            if component_id in self._terminal and self.capture_outputs:
+                sink = self.outputs[component_id]
+                if len(sink) < self.output_cap:
+                    sink.append(tuple_)
+            for edge in self.topology.downstream_of(component_id):
+                spec = self.topology.spec(edge.target)
+                for task_index in edge.grouping.choose(tuple_, spec.parallelism):
+                    for out in self._execute_bolt((edge.target, task_index), tuple_):
+                        queue.append((edge.target, out))
+
+    def _execute_bolt(self, key: TaskKey, tuple_: StreamTuple) -> List[StreamTuple]:
+        bolt = self._tasks.get(key)
+        if bolt is None:
+            raise StreamRuntimeError(
+                f"tuple routed to dead task {key[0]}[{key[1]}]; recover it first"
+            )
+        collector = self._collectors[key]
+        bolt.execute(tuple_, collector)
+        self.executed_counts[key[0]] += 1
+        return collector.drain()
+
+    def flush(self) -> None:
+        """Invoke ``finish(collector)`` on bolts that define it (windows)."""
+        for key in sorted(k for k in self._tasks if k not in self._spout_done):
+            bolt = self._tasks.get(key)
+            finish = getattr(bolt, "finish", None)
+            if callable(finish):
+                collector = self._collectors[key]
+                finish(collector)
+                for out in collector.drain():
+                    self._route(key[0], out)
+
+    def shutdown(self) -> None:
+        for instance in self._tasks.values():
+            if instance is not None:
+                instance.cleanup()
+
+    # ------------------------------------------------------ failure handling
+
+    def kill_task(self, component_id: str, index: int = 0) -> None:
+        """Crash one task: its instance and in-memory state are lost."""
+        key = (component_id, index)
+        if key not in self._tasks:
+            raise TopologyError(f"unknown task {component_id}[{index}]")
+        self._tasks[key] = None
+
+    def recover_task(
+        self, component_id: str, index: int = 0, mechanism=None
+    ) -> None:
+        """Re-create a killed task, restoring state through SR3 if protected.
+
+        ``mechanism`` optionally overrides the selection heuristic (e.g. a
+        :class:`~repro.recovery.speculation.SpeculativeStarRecovery`).
+        Without a backend (or for stateless bolts) the task restarts
+        empty — exactly the "simply start a new operator instance"
+        behaviour of stateless recovery (Sec. 3.1).
+        """
+        key = (component_id, index)
+        if key not in self._tasks:
+            raise TopologyError(f"unknown task {component_id}[{index}]")
+        if self._tasks[key] is not None:
+            raise StreamRuntimeError(f"task {component_id}[{index}] is alive")
+        spec = self.topology.spec(component_id)
+        if spec.parallelism == 1:
+            instance = spec.component
+        else:
+            instance = copy.deepcopy(spec.component)
+        context = TaskContext(component_id, index, spec.parallelism)
+        if isinstance(instance, StatefulBolt):
+            # The crash lost the in-memory hashtable: restart from an empty
+            # store, then overwrite it with the SR3-recovered image when
+            # the task was protected.
+            from repro.state.store import StateStore
+
+            instance.attach_state(StateStore(f"{component_id}[{index}]/state"))
+        instance.prepare(context)
+        if isinstance(instance, StatefulBolt) and self.backend is not None:
+            task_id = f"{component_id}[{index}]"
+            if task_id in self.backend.protected_tasks():
+                store, _result = self.backend.recover_task(
+                    task_id, mechanism=mechanism
+                )
+                instance.attach_state(store)
+        self._tasks[key] = instance
+
+    # ---------------------------------------------------------- SR3 plumbing
+
+    def protect_stateful_tasks(self) -> List[str]:
+        """Register every stateful task with the SR3 backend.
+
+        Each task is associated with a distinct DHT node, mirroring
+        Layer 1's operator-to-node mapping. Returns the protected ids.
+        """
+        if self.backend is None:
+            raise StreamRuntimeError("no SR3 backend attached to this cluster")
+        overlay = self.backend.manager.ctx.overlay
+        protected = []
+        used = []
+        for (component_id, index), bolt in sorted(self.stateful_tasks().items()):
+            task_id = f"{component_id}[{index}]"
+            node = overlay.sample_nodes(1, exclude=used)[0]
+            used.append(node)
+            self.backend.protect(task_id, bolt.state, node)
+            protected.append(task_id)
+        return protected
+
+    def checkpoint(self, serial: bool = True) -> None:
+        """Save all protected task states and run the sim to completion."""
+        if self.backend is None:
+            raise StreamRuntimeError("no SR3 backend attached to this cluster")
+        handles = self.backend.save_all(serial=serial)
+        self.backend.sim.run_until_idle()
+        unresolved = [h.state_name for h in handles if not h.done]
+        if unresolved:
+            raise StreamRuntimeError(f"saves never completed: {unresolved}")

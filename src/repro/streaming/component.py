@@ -1,0 +1,128 @@
+"""Spouts and bolts: the vertices of a topology.
+
+Mirrors Storm's component model (Sec. 4): "Spouts are the data sources of
+the stream ... Bolts are the logical processing units. Spouts pass data to
+bolts and bolts process and produce a new output stream." ``Bolt`` plays
+the role of Storm's ``IRichBolt`` interface that SR3 hooks into.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.errors import TopologyError
+from repro.streaming.tuples import StreamTuple
+
+
+class OutputCollector:
+    """Collects the tuples a component emits during one invocation.
+
+    The executor drains the collector after each call and routes the
+    tuples to downstream tasks.
+    """
+
+    def __init__(self, source: str, fields: Sequence[str]) -> None:
+        self.source = source
+        self.fields = tuple(fields)
+        self._pending: List[StreamTuple] = []
+
+    def emit(self, values: Sequence[Any], timestamp: Optional[float] = None) -> StreamTuple:
+        """Emit one tuple with this component's declared fields."""
+        out = StreamTuple(
+            values, self.fields, source=self.source, timestamp=timestamp
+        )
+        self._pending.append(out)
+        return out
+
+    def drain(self) -> List[StreamTuple]:
+        drained = self._pending
+        self._pending = []
+        return drained
+
+
+class Component:
+    """Common base: declared output fields and lifecycle hooks."""
+
+    def declare_output_fields(self) -> Sequence[str]:
+        """The field names of every tuple this component emits."""
+        raise NotImplementedError
+
+    def prepare(self, context: "TaskContext") -> None:
+        """Called once before the first tuple (Storm's ``prepare``/``open``)."""
+
+    def cleanup(self) -> None:
+        """Called when the topology shuts down."""
+
+
+class Spout(Component):
+    """A data source. Subclasses implement :meth:`next_tuple`."""
+
+    def next_tuple(self, collector: OutputCollector) -> bool:
+        """Emit zero or more tuples; return False when exhausted."""
+        raise NotImplementedError
+
+
+class Bolt(Component):
+    """A processing unit. Subclasses implement :meth:`execute`."""
+
+    def execute(self, tuple_: StreamTuple, collector: OutputCollector) -> None:
+        raise NotImplementedError
+
+
+class TaskContext:
+    """What a running task knows about itself."""
+
+    def __init__(self, component_id: str, task_index: int, parallelism: int) -> None:
+        if not 0 <= task_index < parallelism:
+            raise TopologyError(
+                f"task index {task_index} out of range for parallelism {parallelism}"
+            )
+        self.component_id = component_id
+        self.task_index = task_index
+        self.parallelism = parallelism
+
+    @property
+    def task_id(self) -> str:
+        return f"{self.component_id}[{self.task_index}]"
+
+    def __repr__(self) -> str:
+        return f"TaskContext({self.task_id})"
+
+
+class FunctionBolt(Bolt):
+    """Wrap a plain function ``f(tuple) -> iterable of value-sequences``.
+
+    Convenience for map/filter-style stateless transforms:
+
+    >>> bolt = FunctionBolt(lambda t: [(t["word"].upper(),)], ["word"])
+    """
+
+    def __init__(self, fn, output_fields: Sequence[str]) -> None:
+        self._fn = fn
+        self._fields = tuple(output_fields)
+
+    def declare_output_fields(self) -> Sequence[str]:
+        return self._fields
+
+    def execute(self, tuple_: StreamTuple, collector: OutputCollector) -> None:
+        for values in self._fn(tuple_) or ():
+            collector.emit(values, timestamp=tuple_.timestamp)
+
+
+class IteratorSpout(Spout):
+    """Wrap any iterator of value-sequences as a spout."""
+
+    def __init__(self, iterable: Iterator, output_fields: Sequence[str]) -> None:
+        self._iterator = iter(iterable)
+        self._fields = tuple(output_fields)
+
+    def declare_output_fields(self) -> Sequence[str]:
+        return self._fields
+
+    def next_tuple(self, collector: OutputCollector) -> bool:
+        try:
+            values = next(self._iterator)
+        except StopIteration:
+            return False
+        collector.emit(values)
+        return True

@@ -1,0 +1,62 @@
+"""Stream groupings: how tuples route to downstream task instances.
+
+The same four groupings Storm applications use: shuffle (round-robin,
+deterministic here), fields (hash of selected fields — the partitioning
+stateful bolts rely on so one key always hits the same task), global (all
+tuples to task 0), and all (replicate to every task).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from repro.errors import TopologyError
+from repro.streaming.tuples import StreamTuple
+
+
+class Grouping:
+    """Chooses destination task indexes for one tuple."""
+
+    def choose(self, tuple_: StreamTuple, num_tasks: int) -> List[int]:
+        raise NotImplementedError
+
+
+class ShuffleGrouping(Grouping):
+    """Round-robin distribution (deterministic, balanced)."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def choose(self, tuple_: StreamTuple, num_tasks: int) -> List[int]:
+        index = self._counter % num_tasks
+        self._counter += 1
+        return [index]
+
+
+class FieldsGrouping(Grouping):
+    """Hash-partition on selected fields: same key, same task."""
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise TopologyError("fields grouping needs at least one field")
+        self.fields = tuple(fields)
+
+    def choose(self, tuple_: StreamTuple, num_tasks: int) -> List[int]:
+        key = "\x1f".join(repr(tuple_[f]) for f in self.fields)
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return [int.from_bytes(digest[:8], "big") % num_tasks]
+
+
+class GlobalGrouping(Grouping):
+    """Everything to the lowest task (Storm's global grouping)."""
+
+    def choose(self, tuple_: StreamTuple, num_tasks: int) -> List[int]:
+        return [0]
+
+
+class AllGrouping(Grouping):
+    """Replicate every tuple to every task."""
+
+    def choose(self, tuple_: StreamTuple, num_tasks: int) -> List[int]:
+        return list(range(num_tasks))

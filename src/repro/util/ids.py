@@ -1,0 +1,124 @@
+"""Node and object identifiers in the Pastry-style 128-bit circular id space.
+
+A :class:`NodeId` wraps an integer in ``[0, 2**128)``. Ids are compared and
+routed by digits in base ``2**b`` (Pastry's configuration parameter ``b``,
+default 4, i.e. hexadecimal digits). The helpers here are pure functions so
+the DHT layer stays deterministic given a seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterable
+
+ID_BITS = 128
+ID_SPACE = 1 << ID_BITS
+
+
+@total_ordering
+@dataclass(frozen=True)
+class NodeId:
+    """An identifier on the 128-bit ring.
+
+    Instances are immutable, hashable, ordered by numeric value, and carry
+    helpers for ring distance and prefix comparison used by Pastry routing.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value < ID_SPACE:
+            raise ValueError(f"NodeId out of range: {self.value!r}")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __lt__(self, other: "NodeId") -> bool:
+        return self.value < other.value
+
+    def __repr__(self) -> str:
+        return f"NodeId({self.hex()[:8]}..)"
+
+    def hex(self) -> str:
+        """The full 32-hex-digit representation, zero padded."""
+        return f"{self.value:032x}"
+
+    def digits(self, bits_per_digit: int = 4) -> tuple:
+        """The id split into base-``2**bits_per_digit`` digits, MSB first."""
+        if ID_BITS % bits_per_digit:
+            raise ValueError("bits_per_digit must divide 128")
+        count = ID_BITS // bits_per_digit
+        mask = (1 << bits_per_digit) - 1
+        return tuple(
+            (self.value >> (bits_per_digit * (count - 1 - i))) & mask
+            for i in range(count)
+        )
+
+    def shared_prefix_length(self, other: "NodeId", bits_per_digit: int = 4) -> int:
+        """Number of leading base-``2**b`` digits shared with ``other``."""
+        mine = self.digits(bits_per_digit)
+        theirs = other.digits(bits_per_digit)
+        shared = 0
+        for a, b in zip(mine, theirs):
+            if a != b:
+                break
+            shared += 1
+        return shared
+
+    def distance(self, other: "NodeId") -> int:
+        """Shortest distance around the ring between the two ids."""
+        diff = abs(self.value - other.value)
+        return min(diff, ID_SPACE - diff)
+
+    def clockwise_distance(self, other: "NodeId") -> int:
+        """Distance from ``self`` to ``other`` travelling clockwise."""
+        return (other.value - self.value) % ID_SPACE
+
+
+def node_id_from_bytes(data: bytes) -> NodeId:
+    """Derive a NodeId by hashing arbitrary bytes (SHA-1 widened to 128 bits)."""
+    digest = hashlib.sha256(data).digest()
+    return NodeId(int.from_bytes(digest[:16], "big"))
+
+
+def node_id_from_name(name: str) -> NodeId:
+    """Derive a stable NodeId from a human-readable name."""
+    return node_id_from_bytes(name.encode("utf-8"))
+
+
+def random_node_id(rng: random.Random) -> NodeId:
+    """Draw a uniformly random NodeId from a seeded generator."""
+    return NodeId(rng.getrandbits(ID_BITS))
+
+
+def shard_key(app_name: str, state_name: str, shard_index: int, replica: int) -> NodeId:
+    """The ring position where a shard replica is stored.
+
+    SR3 scatters shard replicas across the overlay by hashing the
+    (application, state, shard, replica) tuple; distinct replicas of the
+    same shard land on independent ring positions, which is what gives the
+    load-balance property of Fig. 11.
+    """
+    return node_id_from_name(f"{app_name}/{state_name}/shard-{shard_index}/r{replica}")
+
+
+def ring_between(low: NodeId, target: NodeId, high: NodeId) -> bool:
+    """True when ``target`` lies on the clockwise arc from ``low`` to ``high``.
+
+    The arc is half-open: ``(low, high]``. Used by leaf-set responsibility
+    checks. When ``low == high`` the arc is the whole ring.
+    """
+    if low.value == high.value:
+        return True
+    return low.clockwise_distance(target) <= low.clockwise_distance(high) and target.value != low.value
+
+
+def closest_id(target: NodeId, candidates: Iterable[NodeId]) -> NodeId:
+    """The candidate numerically closest to ``target`` on the ring."""
+    pool = list(candidates)
+    if not pool:
+        raise ValueError("no candidates supplied")
+    return min(pool, key=lambda c: (target.distance(c), c.value))

@@ -1,0 +1,49 @@
+"""Unit tests for the ``python -m repro.bench`` CLI."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig8a"])
+        assert args.experiment == "fig8a"
+        assert args.seed == 0
+
+    def test_mechanism_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig10", "--mechanism", "ring"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig8a" in out and "table1" in out
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig12c" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SR3" in out and "Flink" in out
+
+    def test_runs_fig9a_with_seed(self, capsys):
+        assert main(["fig9a", "--seed", "2"]) == 0
+        assert "fanout_bit" in capsys.readouterr().out
+
+    def test_runs_fig10_with_mechanism(self, capsys):
+        assert main(["fig10", "--mechanism", "tree"]) == 0
+        assert "failures" in capsys.readouterr().out
+
+    def test_runs_fig11_scaled(self, capsys):
+        assert main(["fig11", "--apps", "10", "--nodes", "200"]) == 0
+        assert "mean_shards_per_node" in capsys.readouterr().out

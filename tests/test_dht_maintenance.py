@@ -1,0 +1,84 @@
+"""Unit tests for overlay maintenance traffic accounting (Fig. 12c)."""
+
+import random
+
+import pytest
+
+from repro.dht.maintenance import (
+    MaintenanceConfig,
+    measure_maintenance,
+    run_maintenance_round,
+)
+from repro.dht.overlay import Overlay
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+def build_overlay(count, seed=0):
+    sim = Simulator()
+    net = Network(sim)
+    overlay = Overlay(sim, net, rng=random.Random(seed))
+    overlay.build(count)
+    return overlay
+
+
+class TestConfig:
+    def test_invalid_periods(self):
+        with pytest.raises(ValueError):
+            MaintenanceConfig(leafset_period=0)
+        with pytest.raises(ValueError):
+            MaintenanceConfig(routing_period=-1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MaintenanceConfig(ping_bytes=-1)
+
+
+class TestRounds:
+    def test_round_returns_bytes(self):
+        overlay = build_overlay(30)
+        total = run_maintenance_round(overlay, MaintenanceConfig())
+        assert total > 0
+        assert overlay.network.total_control_bytes == total
+
+    def test_leafset_only_round_smaller(self):
+        overlay = build_overlay(30)
+        with_routing = run_maintenance_round(overlay, MaintenanceConfig(), 0, True)
+        overlay2 = build_overlay(30)
+        without = run_maintenance_round(overlay2, MaintenanceConfig(), 0, False)
+        assert with_routing >= without
+
+    def test_dead_nodes_not_pinged(self):
+        overlay = build_overlay(30)
+        for victim in overlay.nodes[:10]:
+            overlay.fail_node(victim)
+        overlay.network.total_control_bytes = 0.0
+        for node in overlay.nodes:
+            node.host.control_bytes_sent = 0.0
+        run_maintenance_round(overlay, MaintenanceConfig())
+        dead = [n for n in overlay.nodes if not n.alive]
+        assert all(n.host.control_bytes_sent == 0 for n in dead)
+
+
+class TestMeasurement:
+    def test_reports_rate(self):
+        overlay = build_overlay(40)
+        report = measure_maintenance(overlay, MaintenanceConfig(), duration=300.0)
+        assert report["nodes"] == 40
+        assert report["bytes_per_node_per_second"] > 0
+
+    def test_per_node_rate_grows_slowly(self):
+        """The Fig. 12c property: bytes/node grows sub-linearly (about
+        linearly in log N) while the overlay grows exponentially."""
+        small = measure_maintenance(build_overlay(20), MaintenanceConfig(), 300.0)
+        large = measure_maintenance(build_overlay(320), MaintenanceConfig(), 300.0)
+        ratio = (
+            large["bytes_per_node_per_second"] / small["bytes_per_node_per_second"]
+        )
+        # 16x more nodes must cost far less than 16x per-node traffic.
+        assert 1.0 <= ratio < 2.0
+
+    def test_zero_duration_rejected(self):
+        overlay = build_overlay(10)
+        with pytest.raises(ValueError):
+            measure_maintenance(overlay, MaintenanceConfig(), duration=0)

@@ -1,0 +1,214 @@
+"""Unit and property tests for the overlay: wiring, routing, repair."""
+
+import math
+import random
+
+import pytest
+
+from repro.dht.overlay import Overlay
+from repro.errors import OverlayError, RoutingError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.util.ids import random_node_id
+
+
+def build_overlay(count, seed=0, leaf_set_size=16):
+    sim = Simulator()
+    net = Network(sim)
+    overlay = Overlay(sim, net, leaf_set_size=leaf_set_size, rng=random.Random(seed))
+    overlay.build(count)
+    return overlay
+
+
+class TestBuild:
+    def test_node_count(self):
+        overlay = build_overlay(50)
+        assert len(overlay.nodes) == 50
+        assert len(overlay.alive_nodes()) == 50
+
+    def test_empty_build_rejected(self):
+        sim = Simulator()
+        overlay = Overlay(sim, Network(sim))
+        with pytest.raises(OverlayError):
+            overlay.build(0)
+
+    def test_unique_ids(self):
+        overlay = build_overlay(100)
+        assert len({n.node_id for n in overlay.nodes}) == 100
+
+    def test_leaf_sets_full(self):
+        overlay = build_overlay(100, leaf_set_size=16)
+        assert all(n.leaf_set.is_full() for n in overlay.nodes)
+
+    def test_leaf_sets_contain_true_neighbours(self):
+        overlay = build_overlay(60, seed=4, leaf_set_size=8)
+        ordered = sorted(overlay.nodes, key=lambda n: n.node_id.value)
+        for i, node in enumerate(ordered):
+            successor = ordered[(i + 1) % len(ordered)]
+            assert node.leaf_set.contains(successor.node_id)
+
+    def test_routing_tables_populated(self):
+        overlay = build_overlay(100)
+        assert all(n.routing_table.size() > 0 for n in overlay.nodes)
+
+    def test_node_lookup(self):
+        overlay = build_overlay(10)
+        node = overlay.nodes[3]
+        assert overlay.node_for_id(node.node_id) is node
+        with pytest.raises(OverlayError):
+            overlay.node_for_id(random_node_id(random.Random(999)))
+
+
+class TestRouting:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_routes_reach_responsible_node(self, seed):
+        overlay = build_overlay(150, seed=seed)
+        rng = random.Random(seed + 100)
+        for _ in range(50):
+            start = rng.choice(overlay.nodes)
+            key = random_node_id(rng)
+            dest, path = overlay.route(start, key)
+            assert dest.node_id == overlay.responsible_node(key).node_id
+            assert path[0] is start
+            assert path[-1] is dest
+
+    def test_hop_count_logarithmic(self):
+        overlay = build_overlay(400, seed=5)
+        rng = random.Random(7)
+        hops = [
+            overlay.hops(rng.choice(overlay.nodes), random_node_id(rng))
+            for _ in range(100)
+        ]
+        # Pastry bound: O(log_16 N) ~ 2.2 for N=400; generous headroom.
+        assert sum(hops) / len(hops) <= 2 * math.log(400, 16) + 1
+
+    def test_route_to_own_key(self):
+        overlay = build_overlay(50, seed=2)
+        node = overlay.nodes[0]
+        dest, path = overlay.route(node, node.node_id)
+        assert dest is node
+        assert len(path) == 1
+
+    def test_routing_from_dead_node_rejected(self):
+        overlay = build_overlay(20)
+        victim = overlay.nodes[0]
+        overlay.fail_node(victim)
+        with pytest.raises(RoutingError):
+            overlay.route(victim, random_node_id(random.Random(1)))
+
+    def test_routing_correct_after_failures(self):
+        overlay = build_overlay(150, seed=3)
+        rng = random.Random(17)
+        for victim in rng.sample(overlay.nodes, 20):
+            overlay.fail_node(victim)
+        for _ in range(40):
+            start = rng.choice(overlay.alive_nodes())
+            key = random_node_id(rng)
+            dest, _ = overlay.route(start, key)
+            assert dest.node_id == overlay.responsible_node(key).node_id
+
+
+class TestResponsibility:
+    def test_responsible_is_globally_closest(self):
+        overlay = build_overlay(120, seed=9)
+        rng = random.Random(21)
+        for _ in range(50):
+            key = random_node_id(rng)
+            found = overlay.responsible_node(key)
+            best = min(
+                overlay.alive_nodes(),
+                key=lambda n: (key.distance(n.node_id), n.node_id.value),
+            )
+            assert found.node_id == best.node_id
+
+    def test_responsible_after_failures(self):
+        overlay = build_overlay(60, seed=10)
+        rng = random.Random(3)
+        for victim in rng.sample(overlay.nodes, 15):
+            overlay.fail_node(victim)
+        for _ in range(30):
+            key = random_node_id(rng)
+            found = overlay.responsible_node(key)
+            best = min(
+                overlay.alive_nodes(),
+                key=lambda n: (key.distance(n.node_id), n.node_id.value),
+            )
+            assert found.node_id == best.node_id
+
+
+class TestFailureRepair:
+    def test_failed_node_removed_from_leaf_sets(self):
+        overlay = build_overlay(80, seed=6, leaf_set_size=8)
+        victim = overlay.nodes[0]
+        overlay.fail_node(victim)
+        assert all(
+            not n.leaf_set.contains(victim.node_id) for n in overlay.alive_nodes()
+        )
+
+    def test_leaf_sets_refilled_after_failure(self):
+        overlay = build_overlay(80, seed=6, leaf_set_size=8)
+        overlay.fail_node(overlay.nodes[0])
+        assert all(n.leaf_set.is_full() for n in overlay.alive_nodes())
+
+    def test_repair_generates_control_traffic(self):
+        overlay = build_overlay(80, seed=6)
+        before = overlay.network.total_control_bytes
+        overlay.fail_node(overlay.nodes[0])
+        assert overlay.network.total_control_bytes > before
+        assert overlay.repairs_performed > 0
+
+    def test_double_failure_is_idempotent(self):
+        overlay = build_overlay(30, seed=1)
+        victim = overlay.nodes[0]
+        overlay.fail_node(victim)
+        repairs = overlay.repairs_performed
+        overlay.fail_node(victim)
+        assert overlay.repairs_performed == repairs
+
+    def test_replacement_is_closest_survivor(self):
+        overlay = build_overlay(60, seed=7)
+        victim = overlay.nodes[0]
+        overlay.fail_node(victim)
+        replacement = overlay.replacement_for(victim)
+        assert replacement.alive
+        best = min(
+            overlay.alive_nodes(),
+            key=lambda n: (victim.node_id.distance(n.node_id), n.node_id.value),
+        )
+        assert replacement.node_id == best.node_id
+
+    def test_replacement_requires_failure(self):
+        overlay = build_overlay(10)
+        with pytest.raises(OverlayError):
+            overlay.replacement_for(overlay.nodes[0])
+
+
+class TestMembershipChanges:
+    def test_add_node_joins_ring(self):
+        overlay = build_overlay(40, seed=8)
+        newcomer = overlay.add_node()
+        assert newcomer in overlay.nodes
+        assert newcomer.leaf_set.members()
+        # Routing to the newcomer's id finds it.
+        dest, _ = overlay.route(overlay.nodes[0], newcomer.node_id)
+        assert dest.node_id == newcomer.node_id
+
+    def test_sample_nodes_excludes(self):
+        overlay = build_overlay(30)
+        excluded = overlay.nodes[:5]
+        sample = overlay.sample_nodes(10, exclude=excluded)
+        banned = {n.node_id for n in excluded}
+        assert len(sample) == 10
+        assert all(n.node_id not in banned for n in sample)
+
+    def test_sample_too_many(self):
+        overlay = build_overlay(5)
+        with pytest.raises(OverlayError):
+            overlay.sample_nodes(10)
+
+    def test_leaf_set_of_refresh(self):
+        overlay = build_overlay(40, seed=2)
+        node = overlay.nodes[0]
+        members = overlay.leaf_set_of(node, refresh=True)
+        assert members
+        assert all(m.alive for m in members)

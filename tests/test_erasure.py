@@ -1,0 +1,177 @@
+"""Unit and property tests for GF(256) arithmetic and Reed-Solomon codes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ErasureCodingError
+from repro.recovery.baselines.erasure.gf256 import (
+    GF256,
+    mat_invert,
+    mat_mul,
+    mat_vec_mul,
+    vandermonde,
+)
+from repro.recovery.baselines.erasure.reed_solomon import CodedBlock, ReedSolomonCode
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_mul_associative(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        left = GF256.mul(a, GF256.add(b, c))
+        right = GF256.add(GF256.mul(a, b), GF256.mul(a, c))
+        assert left == right
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert GF256.mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert GF256.mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inverse(a)) == 1
+
+    @given(elements, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert GF256.div(a, b) == GF256.mul(a, GF256.inverse(b))
+
+    @given(elements)
+    def test_add_is_self_inverse(self, a):
+        assert GF256.add(a, a) == 0
+        assert GF256.sub(a, a) == 0
+
+    @given(nonzero, st.integers(min_value=0, max_value=510))
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e):
+            expected = GF256.mul(expected, a)
+        assert GF256.pow(a, e) == expected
+
+    def test_zero_division_rejected(self):
+        with pytest.raises(ErasureCodingError):
+            GF256.div(1, 0)
+        with pytest.raises(ErasureCodingError):
+            GF256.inverse(0)
+
+
+class TestMatrices:
+    def test_vandermonde_shape(self):
+        m = vandermonde(4, 3)
+        assert len(m) == 4 and all(len(row) == 3 for row in m)
+        assert all(row[0] == 1 for row in m)
+
+    def test_vandermonde_invalid(self):
+        with pytest.raises(ErasureCodingError):
+            vandermonde(0, 2)
+        with pytest.raises(ErasureCodingError):
+            vandermonde(300, 2)
+
+    def test_invert_roundtrip(self):
+        rng = random.Random(4)
+        for _ in range(10):
+            rows = rng.sample(range(20), 5)
+            matrix = [vandermonde(20, 5)[r] for r in rows]
+            inverse = mat_invert(matrix)
+            product = mat_mul(inverse, matrix)
+            identity = [[1 if i == j else 0 for j in range(5)] for i in range(5)]
+            assert product == identity
+
+    def test_singular_rejected(self):
+        singular = [[1, 2], [1, 2]]
+        with pytest.raises(ErasureCodingError):
+            mat_invert(singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ErasureCodingError):
+            mat_invert([[1, 2, 3], [4, 5, 6]])
+
+    def test_mat_vec_shape_mismatch(self):
+        with pytest.raises(ErasureCodingError):
+            mat_vec_mul([[1, 2]], [1, 2, 3])
+
+
+class TestReedSolomon:
+    def test_construction_validation(self):
+        with pytest.raises(ErasureCodingError):
+            ReedSolomonCode(0, 4)
+        with pytest.raises(ErasureCodingError):
+            ReedSolomonCode(8, 4)
+        with pytest.raises(ErasureCodingError):
+            ReedSolomonCode(10, 300)
+
+    def test_paper_code_overhead(self):
+        code = ReedSolomonCode(16, 26)
+        assert code.storage_overhead == pytest.approx(0.625)
+        assert code.max_losses == 10
+
+    def test_split_join_roundtrip(self):
+        code = ReedSolomonCode(5, 8)
+        data = b"hello world, this is a payload"
+        assert code.join(code.split(data)) == data
+
+    def test_split_handles_empty(self):
+        code = ReedSolomonCode(3, 5)
+        assert code.join(code.split(b"")) == b""
+
+    def test_encode_decode_all_blocks(self):
+        code = ReedSolomonCode(4, 7)
+        data = bytes(range(256)) * 3
+        blocks = code.encode(data)
+        assert len(blocks) == 7
+        assert code.decode(blocks) == data
+
+    @given(st.binary(min_size=0, max_size=400), st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_any_k_blocks_decode(self, data, rng):
+        code = ReedSolomonCode(4, 8)
+        blocks = code.encode(data)
+        subset = rng.sample(blocks, 4)
+        assert code.decode(subset) == data
+
+    def test_tolerates_max_losses(self):
+        code = ReedSolomonCode(16, 26)
+        data = b"x" * 1000
+        blocks = code.encode(data)
+        survivors = blocks[10:]  # lose the first 10 (= max_losses)
+        assert code.decode(survivors) == data
+
+    def test_too_few_blocks_rejected(self):
+        code = ReedSolomonCode(4, 8)
+        blocks = code.encode(b"payload")
+        with pytest.raises(ErasureCodingError):
+            code.decode(blocks[:3])
+
+    def test_duplicate_blocks_do_not_count(self):
+        code = ReedSolomonCode(4, 8)
+        blocks = code.encode(b"payload")
+        with pytest.raises(ErasureCodingError):
+            code.decode([blocks[0]] * 4)
+
+    def test_inconsistent_lengths_rejected(self):
+        code = ReedSolomonCode(2, 4)
+        blocks = code.encode(b"payload")
+        broken = [blocks[0], CodedBlock(blocks[1].index, blocks[1].payload + b"x")]
+        with pytest.raises(ErasureCodingError):
+            code.decode(broken)
+
+    def test_out_of_range_index_rejected(self):
+        code = ReedSolomonCode(2, 4)
+        blocks = code.encode(b"data")
+        bad = [CodedBlock(99, blocks[0].payload), blocks[1]]
+        with pytest.raises(ErasureCodingError):
+            code.decode(bad)

@@ -1,0 +1,153 @@
+"""System-level integration tests: churn, determinism, end-to-end flows."""
+
+import random
+
+import pytest
+
+from repro.dht.overlay import Overlay
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.model import RecoveryContext, run_handles
+from repro.recovery.star import StarRecovery
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.state.partitioner import partition_snapshot, partition_synthetic
+from repro.state.store import StateStore
+from repro.state.version import StateVersion
+from repro.streaming.backend import SR3StateBackend
+from repro.streaming.cluster import LocalCluster
+from repro.util.ids import random_node_id
+from repro.util.sizes import MB
+from repro.workloads.wordcount import build_wordcount_topology
+
+
+class TestOverlayChurn:
+    """The overlay is 'self-organizing and self-repairing' (Sec. 3.3)."""
+
+    def test_routing_correct_through_interleaved_churn(self):
+        sim = Simulator()
+        net = Network(sim)
+        overlay = Overlay(sim, net, rng=random.Random(3))
+        overlay.build(80)
+        rng = random.Random(77)
+        for step in range(30):
+            action = rng.choice(["fail", "join", "route"])
+            if action == "fail" and len(overlay.alive_nodes()) > 40:
+                overlay.fail_node(rng.choice(overlay.alive_nodes()))
+            elif action == "join":
+                overlay.add_node()
+            key = random_node_id(rng)
+            start = rng.choice(overlay.alive_nodes())
+            dest, _ = overlay.route(start, key)
+            assert dest.node_id == overlay.responsible_node(key).node_id
+
+    def test_leaf_sets_stay_full_through_churn(self):
+        sim = Simulator()
+        net = Network(sim)
+        overlay = Overlay(sim, net, leaf_set_size=8, rng=random.Random(5))
+        overlay.build(60)
+        rng = random.Random(9)
+        for _ in range(10):
+            overlay.fail_node(rng.choice(overlay.alive_nodes()))
+        assert all(n.leaf_set.is_full() for n in overlay.alive_nodes())
+
+
+class TestDeterminism:
+    """Same seed, same everything — the property all figures rely on."""
+
+    def _run_recovery(self, seed):
+        sim = Simulator()
+        net = Network(sim)
+        overlay = Overlay(sim, net, rng=random.Random(seed))
+        overlay.build(64)
+        manager = RecoveryManager(RecoveryContext(sim, net, overlay))
+        shards = partition_synthetic("a/s", 32 * MB, 8, StateVersion(0.0, 1))
+        manager.register(overlay.nodes[0], shards, 2)
+        manager.save("a/s")
+        sim.run_until_idle()
+        overlay.fail_node(overlay.nodes[0])
+        handle = manager.recover("a/s", mechanism=StarRecovery())
+        return run_handles(sim, [handle])[0]
+
+    def test_identical_runs(self):
+        a = self._run_recovery(11)
+        b = self._run_recovery(11)
+        assert a.duration == b.duration
+        assert a.replacement == b.replacement
+        assert a.bytes_transferred == b.bytes_transferred
+
+    def test_different_seeds_differ(self):
+        a = self._run_recovery(11)
+        b = self._run_recovery(12)
+        assert a.replacement != b.replacement or a.duration != b.duration
+
+
+class TestEndToEnd:
+    def test_wordcount_with_periodic_checkpoints_and_crash(self):
+        sim = Simulator()
+        net = Network(sim)
+        overlay = Overlay(sim, net, rng=random.Random(21))
+        overlay.build(64)
+        backend = SR3StateBackend(
+            RecoveryManager(RecoveryContext(sim, net, overlay)), num_shards=2
+        )
+        topo = build_wordcount_topology(num_sentences=200, seed=0, count_parallelism=2)
+        cluster = LocalCluster(topo, backend=backend)
+        cluster.protect_stateful_tasks()
+        # Periodic saving every 50 emissions (Sec. 4's periodic save).
+        cluster.run(max_emissions=150, checkpoint_every=50)
+        saved_rounds = [
+            t.save_rounds for t in backend.protected_tasks().values()
+        ]
+        assert all(rounds == 3 for rounds in saved_rounds)
+        # Crash both counters; recover; finish the stream.
+        expected_cluster = LocalCluster(
+            build_wordcount_topology(num_sentences=200, seed=0, count_parallelism=2)
+        )
+        expected_cluster.run()
+        cluster.kill_task("count", 0)
+        cluster.kill_task("count", 1)
+        cluster.recover_task("count", 0)
+        cluster.recover_task("count", 1)
+        cluster.run()
+        merged = {}
+        for bolt in cluster.stateful_tasks().values():
+            merged.update(dict(bolt.state.items()))
+        expected = {}
+        for bolt in expected_cluster.stateful_tasks().values():
+            expected.update(dict(bolt.state.items()))
+        assert merged == expected
+
+    def test_periodic_checkpoint_requires_backend(self):
+        cluster = LocalCluster(build_wordcount_topology(num_sentences=10))
+        from repro.errors import StreamRuntimeError
+
+        with pytest.raises(StreamRuntimeError):
+            cluster.run(checkpoint_every=5)
+
+    def test_real_state_through_dht_node_failure(self):
+        """Full stack: real entries, node crash, overlay repair, recovery."""
+        sim = Simulator()
+        net = Network(sim)
+        overlay = Overlay(sim, net, rng=random.Random(31))
+        overlay.build(96)
+        manager = RecoveryManager(RecoveryContext(sim, net, overlay))
+        store = StateStore("app/kv")
+        for i in range(1000):
+            store.put(f"key-{i}", {"value": i, "tags": [i % 7, i % 11]})
+        snapshot = store.snapshot(0.0)
+        shards = partition_snapshot(snapshot, 8)
+        owner = overlay.nodes[0]
+        manager.register(owner, shards, num_replicas=3)
+        manager.save("app/kv")
+        sim.run_until_idle()
+        # Crash the owner AND one replica holder simultaneously.
+        plan = manager.states["app/kv"].plan
+        replica_holder = plan.placements[0].node
+        overlay.fail_node(owner)
+        overlay.fail_node(replica_holder)
+        handle = manager.recover("app/kv")
+        run_handles(sim, [handle])
+        from repro.state.partitioner import merge_shards
+
+        recovered = merge_shards(plan.available_shards())
+        assert recovered.as_dict() == snapshot.as_dict()

@@ -1,0 +1,210 @@
+"""Unit tests for spanning trees and Scribe multicast."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dht.overlay import Overlay
+from repro.errors import MulticastError
+from repro.multicast.scribe import ScribeSystem
+from repro.multicast.tree import (
+    SpanningTree,
+    build_balanced_tree,
+    build_tree,
+    build_tree_with_depth,
+    fanout_for_depth,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+
+def build_overlay(count, seed=0):
+    sim = Simulator()
+    net = Network(sim)
+    overlay = Overlay(sim, net, rng=random.Random(seed))
+    overlay.build(count)
+    return overlay
+
+
+class TestSpanningTree:
+    def test_root_only(self):
+        overlay = build_overlay(5)
+        tree = SpanningTree(overlay.nodes[0])
+        assert len(tree) == 1
+        assert tree.height() == 0
+        assert tree.leaves() == [overlay.nodes[0]]
+
+    def test_add_and_navigate(self):
+        overlay = build_overlay(5)
+        a, b, c = overlay.nodes[:3]
+        tree = SpanningTree(a)
+        tree.add(b, a)
+        tree.add(c, b)
+        assert tree.parent(c) is b
+        assert tree.children(a) == [b]
+        assert tree.depth_of(c) == 2
+        assert tree.height() == 2
+
+    def test_duplicate_add_rejected(self):
+        overlay = build_overlay(3)
+        a, b = overlay.nodes[:2]
+        tree = SpanningTree(a)
+        tree.add(b, a)
+        with pytest.raises(MulticastError):
+            tree.add(b, a)
+
+    def test_unknown_parent_rejected(self):
+        overlay = build_overlay(3)
+        a, b, c = overlay.nodes[:3]
+        tree = SpanningTree(a)
+        with pytest.raises(MulticastError):
+            tree.add(b, c)
+
+    def test_bfs_and_levels(self):
+        overlay = build_overlay(7)
+        nodes = overlay.nodes
+        tree = build_tree(nodes[0], nodes[1:7], fanout=2)
+        order = list(tree.bfs())
+        assert order[0] is nodes[0]
+        levels = tree.levels()
+        assert levels[0] == [nodes[0]]
+        assert sum(len(level) for level in levels) == 7
+
+    def test_validate_passes_for_built_tree(self):
+        overlay = build_overlay(20)
+        tree = build_tree(overlay.nodes[0], overlay.nodes[1:], fanout=3)
+        tree.validate()
+
+
+class TestBuildTree:
+    def test_fanout_respected(self):
+        overlay = build_overlay(16)
+        tree = build_tree(overlay.nodes[0], overlay.nodes[1:], fanout=2)
+        assert tree.max_fanout() <= 2
+        assert len(tree) == 16
+
+    def test_balanced_tree_uses_power_of_two(self):
+        overlay = build_overlay(16)
+        tree = build_balanced_tree(overlay.nodes[0], overlay.nodes[1:], fanout_bits=2)
+        assert tree.max_fanout() <= 4
+
+    def test_larger_fanout_is_shallower(self):
+        overlay = build_overlay(40)
+        narrow = build_tree(overlay.nodes[0], overlay.nodes[1:], fanout=2)
+        wide = build_tree(overlay.nodes[0], overlay.nodes[1:], fanout=8)
+        assert wide.height() < narrow.height()
+
+    def test_chain_with_fanout_one(self):
+        overlay = build_overlay(6)
+        tree = build_tree(overlay.nodes[0], overlay.nodes[1:], fanout=1)
+        assert tree.height() == 5
+        assert tree.max_fanout() == 1
+
+    def test_depth_cap_honoured(self):
+        overlay = build_overlay(30)
+        tree = build_tree(overlay.nodes[0], overlay.nodes[1:], fanout=2, max_depth=3)
+        assert tree.height() <= 3
+        assert len(tree) == 30
+
+    def test_invalid_fanout(self):
+        overlay = build_overlay(2)
+        with pytest.raises(MulticastError):
+            build_tree(overlay.nodes[0], overlay.nodes[1:], fanout=0)
+
+
+class TestDepthTargeting:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_fanout_for_depth_capacity(self, members, depth):
+        fanout = fanout_for_depth(members, depth)
+        if fanout == 1:
+            capacity = depth
+        else:
+            capacity = (fanout ** (depth + 1) - fanout) // (fanout - 1)
+        assert capacity >= members
+        if fanout > 1:
+            smaller = fanout - 1
+            if smaller == 1:
+                smaller_capacity = depth
+            else:
+                smaller_capacity = (smaller ** (depth + 1) - smaller) // (smaller - 1)
+            assert smaller_capacity < members
+
+    def test_deeper_target_builds_deeper_tree(self):
+        overlay = build_overlay(33)
+        shallow = build_tree_with_depth(overlay.nodes[0], overlay.nodes[1:], depth=2)
+        deep = build_tree_with_depth(overlay.nodes[0], overlay.nodes[1:], depth=16)
+        assert deep.height() > shallow.height()
+
+    def test_exact_chain_depth(self):
+        overlay = build_overlay(9)
+        tree = build_tree_with_depth(overlay.nodes[0], overlay.nodes[1:], depth=8)
+        assert tree.height() == 8
+
+
+class TestScribe:
+    def test_create_topic_root_is_responsible(self):
+        overlay = build_overlay(50, seed=1)
+        scribe = ScribeSystem(overlay)
+        topic = scribe.create_topic("alerts")
+        assert topic.root.node_id == overlay.responsible_node(topic.topic_id).node_id
+
+    def test_create_is_idempotent(self):
+        overlay = build_overlay(20)
+        scribe = ScribeSystem(overlay)
+        assert scribe.create_topic("t") is scribe.create_topic("t")
+
+    def test_subscribe_builds_route_union_tree(self):
+        overlay = build_overlay(80, seed=2)
+        scribe = ScribeSystem(overlay)
+        scribe.create_topic("t")
+        subscribers = overlay.nodes[:10]
+        for node in subscribers:
+            scribe.subscribe("t", node)
+        topic = scribe.topics["t"]
+        topic.tree.validate()
+        assert all(node in topic.tree for node in subscribers)
+        assert topic.subscribers == set(subscribers)
+
+    def test_publish_reaches_all_members(self):
+        overlay = build_overlay(60, seed=3)
+        scribe = ScribeSystem(overlay)
+        scribe.create_topic("t")
+        for node in overlay.nodes[:8]:
+            scribe.subscribe("t", node)
+        depths = scribe.publish("t", payload_bytes=128)
+        topic = scribe.topics["t"]
+        assert set(depths) == set(topic.tree.members())
+        assert depths[topic.root] == 0
+
+    def test_publish_unknown_topic(self):
+        overlay = build_overlay(10)
+        scribe = ScribeSystem(overlay)
+        with pytest.raises(MulticastError):
+            scribe.publish("nope", 10)
+
+    def test_unsubscribe_keeps_tree(self):
+        overlay = build_overlay(40, seed=4)
+        scribe = ScribeSystem(overlay)
+        scribe.create_topic("t")
+        node = overlay.nodes[5]
+        scribe.subscribe("t", node)
+        scribe.unsubscribe("t", node)
+        assert node not in scribe.topics["t"].subscribers
+
+    def test_repair_after_root_failure(self):
+        overlay = build_overlay(60, seed=5)
+        scribe = ScribeSystem(overlay)
+        topic = scribe.create_topic("t")
+        subscribers = [n for n in overlay.nodes[:10] if n is not topic.root]
+        for node in subscribers:
+            scribe.subscribe("t", node)
+        overlay.fail_node(topic.root)
+        scribe.repair("t")
+        repaired = scribe.topics["t"]
+        assert repaired.root.alive
+        repaired.tree.validate()
+        assert all(node in repaired.tree for node in subscribers if node.alive)

@@ -1,0 +1,149 @@
+"""Unit tests for the recovery manager."""
+
+import pytest
+
+from repro.errors import RecoveryError, StateError
+from repro.recovery.line import LineRecovery
+from repro.recovery.star import StarRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.state.partitioner import partition_synthetic
+from repro.state.version import StateVersion
+from repro.util.sizes import MB
+
+
+def shards_for(name, size=8 * MB, count=4, seq=1):
+    return partition_synthetic(name, int(size), count, StateVersion(0.0, seq))
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, world):
+        registered = world.manager.register(
+            world.overlay.nodes[0], shards_for("a/s"), 2
+        )
+        assert registered.state_bytes == pytest.approx(8 * MB)
+        assert "a/s" in world.manager.states
+
+    def test_duplicate_rejected(self, world):
+        world.manager.register(world.overlay.nodes[0], shards_for("a/s"), 2)
+        with pytest.raises(StateError):
+            world.manager.register(world.overlay.nodes[1], shards_for("a/s"), 2)
+
+    def test_empty_shards_rejected(self, world):
+        with pytest.raises(StateError):
+            world.manager.register(world.overlay.nodes[0], [], 2)
+
+    def test_refresh_shards(self, world):
+        world.manager.register(world.overlay.nodes[0], shards_for("a/s"), 2)
+        world.manager.refresh_shards("a/s", shards_for("a/s", size=16 * MB, seq=2))
+        assert world.manager.states["a/s"].state_bytes == pytest.approx(16 * MB)
+
+    def test_refresh_wrong_name_rejected(self, world):
+        world.manager.register(world.overlay.nodes[0], shards_for("a/s"), 2)
+        with pytest.raises(StateError):
+            world.manager.refresh_shards("a/s", shards_for("other"))
+
+    def test_refresh_unknown_state(self, world):
+        with pytest.raises(StateError):
+            world.manager.refresh_shards("ghost", shards_for("ghost"))
+
+
+class TestSaveAndRecover:
+    def test_save_records_plan(self, world):
+        world.manager.register(world.overlay.nodes[0], shards_for("a/s"), 2)
+        handle = world.manager.save("a/s")
+        world.sim.run_until_idle()
+        registered = world.manager.states["a/s"]
+        assert registered.plan is not None
+        assert registered.last_save_duration == handle.result.duration
+
+    def test_save_all(self, world):
+        for i, name in enumerate(["a/s", "b/s"]):
+            world.manager.register(world.overlay.nodes[i], shards_for(name), 2)
+        handles = world.manager.save_all()
+        world.sim.run_until_idle()
+        assert len(handles) == 2
+        assert all(h.done for h in handles)
+
+    def test_recover_unsaved_state_rejected(self, world):
+        world.manager.register(world.overlay.nodes[0], shards_for("a/s"), 2)
+        with pytest.raises(RecoveryError):
+            world.manager.recover("a/s")
+
+    def test_recover_alive_owner_needs_explicit_replacement(self, world):
+        world.save_synthetic("a/s")
+        with pytest.raises(RecoveryError):
+            world.manager.recover("a/s")
+
+    def test_recover_with_explicit_replacement(self, world):
+        world.save_synthetic("a/s")
+        handle = world.manager.recover("a/s", replacement=world.overlay.nodes[5])
+        results = world.manager.run([handle])
+        assert results[0].replacement == world.overlay.nodes[5].name
+
+    def test_recover_after_owner_failure_auto_replacement(self, world):
+        world.save_synthetic("a/s")
+        owner = world.manager.states["a/s"].owner
+        world.overlay.fail_node(owner)
+        handle = world.manager.recover("a/s")
+        result = world.manager.run([handle])[0]
+        expected = world.overlay.replacement_for(owner)
+        assert result.replacement == expected.name
+
+    def test_unknown_state(self, world):
+        with pytest.raises(StateError):
+            world.manager.recover("ghost")
+
+
+class TestMechanismSelection:
+    def test_small_state_selects_star(self, world):
+        world.save_synthetic("a/s", size=8 * MB)
+        assert isinstance(world.manager.mechanism_for("a/s"), StarRecovery)
+
+    def test_large_state_unconstrained_selects_line(self, world):
+        world.save_synthetic("a/s", size=128 * MB, shards=16)
+        assert isinstance(world.manager.mechanism_for("a/s"), LineRecovery)
+
+    def test_large_state_constrained_selects_tree(self, world):
+        world.manager.bandwidth_constrained = True
+        world.save_synthetic("a/s", size=128 * MB, shards=16)
+        assert isinstance(world.manager.mechanism_for("a/s"), TreeRecovery)
+
+    def test_explicit_mechanism_wins(self, world):
+        world.save_synthetic("a/s", size=128 * MB, shards=16)
+        owner = world.manager.states["a/s"].owner
+        world.overlay.fail_node(owner)
+        handle = world.manager.recover("a/s", mechanism=StarRecovery())
+        result = world.manager.run([handle])[0]
+        assert result.mechanism == "star"
+
+
+class TestMultipleFailures:
+    def test_on_failures_recovers_only_affected_states(self, world_factory):
+        w = world_factory(num_nodes=128, placement="hash")
+        owners = w.overlay.nodes[:3]
+        for i, owner in enumerate(owners):
+            w.manager.register(owner, shards_for(f"app{i}/s"), 2)
+        for h in w.manager.save_all():
+            pass
+        w.sim.run_until_idle()
+        w.overlay.fail_node(owners[0])
+        w.overlay.fail_node(owners[2])
+        handles = w.manager.on_failures([owners[0], owners[2]])
+        assert len(handles) == 2
+        results = w.manager.run(handles)
+        names = {r.state_name for r in results}
+        assert names == {"app0/s", "app2/s"}
+
+    def test_simultaneous_recoveries_share_simulation(self, world_factory):
+        w = world_factory(num_nodes=128, placement="hash")
+        owners = w.overlay.nodes[:4]
+        for i, owner in enumerate(owners):
+            w.manager.register(owner, shards_for(f"app{i}/s", size=16 * MB), 2)
+        w.manager.save_all()
+        w.sim.run_until_idle()
+        for owner in owners:
+            w.overlay.fail_node(owner)
+        results = w.manager.run(w.manager.on_failures(owners))
+        assert len(results) == 4
+        # Concurrent recoveries finish; each took nonzero simulated time.
+        assert all(r.duration > 0 for r in results)

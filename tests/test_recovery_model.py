@@ -1,0 +1,115 @@
+"""Unit tests for the shared recovery machinery: cost model, handles."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery.model import (
+    CostModel,
+    RecoveryHandle,
+    RecoveryResult,
+    run_handles,
+)
+from repro.sim.kernel import Simulator
+from repro.util.sizes import MB
+
+
+class TestCostModel:
+    def test_merge_time_linear(self):
+        cost = CostModel()
+        assert cost.merge_time(2 * MB) == pytest.approx(2 * cost.merge_time(1 * MB))
+
+    def test_install_faster_than_merge(self):
+        cost = CostModel()
+        assert cost.install_time(64 * MB) < cost.merge_time(64 * MB)
+
+    def test_partition_time(self):
+        cost = CostModel(partition_rate=50 * MB)
+        assert cost.partition_time(100 * MB) == pytest.approx(2.0)
+
+    def test_lookup_penalty_zero_when_all_survive(self):
+        cost = CostModel()
+        assert cost.lookup_penalty(num_replicas=3, surviving=3) == 0.0
+
+    def test_lookup_penalty_scales_with_loss_fraction(self):
+        cost = CostModel()
+        half = cost.lookup_penalty(2, 1)
+        third = cost.lookup_penalty(3, 2)
+        assert half > third > 0
+
+    def test_lookup_penalty_validation(self):
+        with pytest.raises(ValueError):
+            CostModel().lookup_penalty(0, 0)
+
+    def test_lookup_penalty_caps_surviving(self):
+        cost = CostModel()
+        assert cost.lookup_penalty(2, 5) == 0.0
+
+
+def make_result(name="s"):
+    return RecoveryResult(
+        mechanism="star",
+        state_name=name,
+        state_bytes=1.0,
+        started_at=1.0,
+        finished_at=3.5,
+        bytes_transferred=1.0,
+        nodes_involved=2,
+        shards_recovered=1,
+        replacement="n1",
+    )
+
+
+class TestRecoveryHandle:
+    def test_duration(self):
+        assert make_result().duration == 2.5
+
+    def test_unresolved_result_raises(self):
+        handle = RecoveryHandle("star", "s")
+        assert not handle.done
+        with pytest.raises(RecoveryError):
+            _ = handle.result
+
+    def test_resolve_delivers_result_and_callbacks(self):
+        handle = RecoveryHandle("star", "s")
+        seen = []
+        handle.on_done(seen.append)
+        result = make_result()
+        handle._resolve(result)
+        assert handle.done
+        assert handle.result is result
+        assert seen == [result]
+
+    def test_late_callback_fires_immediately(self):
+        handle = RecoveryHandle("star", "s")
+        handle._resolve(make_result())
+        seen = []
+        handle.on_done(seen.append)
+        assert len(seen) == 1
+
+    def test_double_resolve_rejected(self):
+        handle = RecoveryHandle("star", "s")
+        handle._resolve(make_result())
+        with pytest.raises(RecoveryError):
+            handle._resolve(make_result())
+
+    def test_fail_propagates(self):
+        handle = RecoveryHandle("star", "s")
+        handle._fail(RecoveryError("boom"))
+        assert handle.done
+        with pytest.raises(RecoveryError, match="boom"):
+            _ = handle.result
+
+
+class TestRunHandles:
+    def test_unresolved_handles_reported(self):
+        sim = Simulator()
+        stuck = RecoveryHandle("star", "stuck-state")
+        with pytest.raises(RecoveryError, match="stuck-state"):
+            run_handles(sim, [stuck])
+
+    def test_resolved_via_simulation(self):
+        sim = Simulator()
+        handle = RecoveryHandle("star", "s")
+        sim.schedule(1.0, lambda: handle._resolve(make_result()))
+        results = run_handles(sim, [handle])
+        assert results[0].state_name == "s"

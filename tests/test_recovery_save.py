@@ -1,0 +1,101 @@
+"""Unit tests for the SR3 save pipeline."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.recovery.save import sr3_save
+from repro.state.partitioner import partition_synthetic
+from repro.state.placement import LeafSetPlacement
+from repro.state.version import StateVersion
+from repro.util.sizes import MB
+
+
+def make_shards(size=8 * MB, count=4, name="app/state"):
+    return partition_synthetic(name, int(size), count, StateVersion(0.0, 1))
+
+
+class TestSave:
+    def test_all_replicas_installed(self, world):
+        handle = sr3_save(
+            world.ctx, world.overlay.nodes[0], make_shards(), 2, LeafSetPlacement()
+        )
+        world.sim.run_until_idle()
+        result = handle.result
+        assert result.replicas_written == 8
+        for placed in result.plan.placements:
+            assert placed.node.get_shard(placed.replica.key) is placed.replica
+
+    def test_duration_positive_and_bytes_counted(self, world):
+        handle = sr3_save(
+            world.ctx, world.overlay.nodes[0], make_shards(), 2, LeafSetPlacement()
+        )
+        world.sim.run_until_idle()
+        result = handle.result
+        assert result.duration > 0
+        assert result.bytes_transferred == pytest.approx(2 * 8 * MB)
+
+    def test_serial_slower_than_parallel_under_constraint(self, world_factory):
+        serial_world = world_factory(link_mbit=100)
+        h1 = sr3_save(
+            serial_world.ctx,
+            serial_world.overlay.nodes[0],
+            make_shards(),
+            2,
+            LeafSetPlacement(),
+            serial=True,
+        )
+        serial_world.sim.run_until_idle()
+        parallel_world = world_factory(link_mbit=100)
+        h2 = sr3_save(
+            parallel_world.ctx,
+            parallel_world.overlay.nodes[0],
+            make_shards(),
+            2,
+            LeafSetPlacement(),
+            serial=False,
+        )
+        parallel_world.sim.run_until_idle()
+        assert h2.result.duration <= h1.result.duration
+
+    def test_larger_state_takes_longer(self, world_factory):
+        durations = []
+        for size in (8 * MB, 64 * MB):
+            w = world_factory(link_mbit=1000)
+            handle = sr3_save(
+                w.ctx, w.overlay.nodes[0], make_shards(size=size), 2, LeafSetPlacement()
+            )
+            w.sim.run_until_idle()
+            durations.append(handle.result.duration)
+        assert durations[1] > durations[0]
+
+    def test_more_replicas_cost_more(self, world_factory):
+        durations = []
+        for replicas in (2, 4):
+            w = world_factory(link_mbit=1000)
+            handle = sr3_save(
+                w.ctx, w.overlay.nodes[0], make_shards(), replicas, LeafSetPlacement()
+            )
+            w.sim.run_until_idle()
+            durations.append(handle.result.duration)
+        assert durations[1] > durations[0]
+
+    def test_zero_shards_rejected(self, world):
+        with pytest.raises(StateError):
+            sr3_save(world.ctx, world.overlay.nodes[0], [], 2, LeafSetPlacement())
+
+    def test_handle_not_done_before_run(self, world):
+        handle = sr3_save(
+            world.ctx, world.overlay.nodes[0], make_shards(), 2, LeafSetPlacement()
+        )
+        assert not handle.done
+        world.sim.run_until_idle()
+        assert handle.done
+
+    def test_on_done_callback(self, world):
+        handle = sr3_save(
+            world.ctx, world.overlay.nodes[0], make_shards(), 2, LeafSetPlacement()
+        )
+        seen = []
+        handle.on_done(lambda r: seen.append(r.state_name))
+        world.sim.run_until_idle()
+        assert seen == ["app/state"]

@@ -1,0 +1,121 @@
+"""Unit tests for the Fig. 7 mechanism-selection heuristic."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.recovery.line import LineRecovery
+from repro.recovery.selection import (
+    ComputationModel,
+    Mechanism,
+    SelectionInputs,
+    build_mechanism,
+    recommended_path_length,
+    recommended_tree_fanout_bits,
+    select_mechanism,
+)
+from repro.recovery.star import StarRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.util.sizes import MB
+
+
+class TestDecisionDiagram:
+    def test_stateless_needs_no_recovery(self):
+        inputs = SelectionInputs(state_bytes=64 * MB, stateful=False)
+        assert select_mechanism(inputs) is Mechanism.NONE
+
+    def test_small_state_prefers_star(self):
+        inputs = SelectionInputs(state_bytes=8 * MB)
+        assert select_mechanism(inputs) is Mechanism.STAR
+
+    def test_boundary_is_star(self):
+        inputs = SelectionInputs(state_bytes=32 * MB)
+        assert select_mechanism(inputs) is Mechanism.STAR
+
+    def test_large_state_abundant_bandwidth_prefers_line(self):
+        inputs = SelectionInputs(state_bytes=128 * MB, bandwidth_constrained=False)
+        assert select_mechanism(inputs) is Mechanism.LINE
+
+    def test_large_constrained_latency_insensitive_prefers_line(self):
+        inputs = SelectionInputs(
+            state_bytes=128 * MB,
+            bandwidth_constrained=True,
+            latency_sensitive=False,
+        )
+        assert select_mechanism(inputs) is Mechanism.LINE
+
+    def test_large_constrained_latency_sensitive_prefers_tree(self):
+        inputs = SelectionInputs(
+            state_bytes=128 * MB,
+            bandwidth_constrained=True,
+            latency_sensitive=True,
+        )
+        assert select_mechanism(inputs) is Mechanism.TREE
+
+    def test_custom_threshold(self):
+        inputs = SelectionInputs(state_bytes=40 * MB, large_state_threshold=64 * MB)
+        assert select_mechanism(inputs) is Mechanism.STAR
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SelectionError):
+            SelectionInputs(state_bytes=-1)
+        with pytest.raises(SelectionError):
+            SelectionInputs(state_bytes=1, large_state_threshold=0)
+
+    def test_computation_models_accepted(self):
+        for model in ComputationModel:
+            inputs = SelectionInputs(state_bytes=8 * MB, computation_model=model)
+            assert select_mechanism(inputs) is Mechanism.STAR
+
+
+class TestRecommendedParameters:
+    def test_path_length_grows_with_state(self):
+        short = recommended_path_length(16 * MB, latency_sensitive=False)
+        long = recommended_path_length(1024 * MB, latency_sensitive=False)
+        assert long > short
+
+    def test_latency_sensitive_caps_path(self):
+        assert recommended_path_length(1024 * MB, latency_sensitive=True) <= 8
+
+    def test_path_at_least_two(self):
+        assert recommended_path_length(0) == 2
+
+    def test_path_capped_at_64(self):
+        assert recommended_path_length(10**12, latency_sensitive=False) <= 64
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SelectionError):
+            recommended_path_length(-1)
+
+    def test_fanout_grows_with_state_and_failures(self):
+        base = recommended_tree_fanout_bits(32 * MB, expected_failures=1)
+        big = recommended_tree_fanout_bits(128 * MB, expected_failures=10)
+        assert big > base
+        assert big <= 4
+
+    def test_fanout_rejects_negative_failures(self):
+        with pytest.raises(SelectionError):
+            recommended_tree_fanout_bits(1, expected_failures=-1)
+
+
+class TestBuildMechanism:
+    def test_stateless_returns_none(self):
+        assert build_mechanism(SelectionInputs(1 * MB, stateful=False)) is None
+
+    def test_star_instance(self):
+        mech = build_mechanism(SelectionInputs(8 * MB))
+        assert isinstance(mech, StarRecovery)
+
+    def test_line_instance_with_scaled_path(self):
+        mech = build_mechanism(
+            SelectionInputs(256 * MB, latency_sensitive=False)
+        )
+        assert isinstance(mech, LineRecovery)
+        assert mech.path_length == recommended_path_length(256 * MB, False)
+
+    def test_tree_instance(self):
+        mech = build_mechanism(
+            SelectionInputs(
+                128 * MB, bandwidth_constrained=True, latency_sensitive=True
+            )
+        )
+        assert isinstance(mech, TreeRecovery)

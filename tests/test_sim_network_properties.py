@@ -1,0 +1,106 @@
+"""Property-based tests of the flow network's conservation invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+
+flow_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),  # src host index
+        st.integers(min_value=0, max_value=4),  # dst host index
+        st.floats(min_value=1.0, max_value=1e6),  # size
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+bandwidths = st.floats(min_value=10.0, max_value=1e6)
+
+
+class TestConservation:
+    @given(flow_specs, bandwidths)
+    @settings(max_examples=60, deadline=None)
+    def test_all_flows_complete_and_bytes_conserved(self, specs, bw):
+        sim = Simulator()
+        net = Network(sim)
+        hosts = [net.add_host(f"h{i}", up_bw=bw, down_bw=bw, latency=0.001) for i in range(5)]
+        completed = []
+        expected = 0.0
+        for src, dst, size in specs:
+            if src == dst:
+                continue
+            net.transfer(hosts[src], hosts[dst], size, on_complete=completed.append)
+            expected += size
+        sim.run_until_idle()
+        assert len(completed) == sum(1 for s, d, _ in specs if s != d)
+        assert net.total_bytes == pytest.approx(expected, rel=1e-6)
+        assert sum(h.bytes_sent for h in hosts) == pytest.approx(expected, rel=1e-6)
+        assert sum(h.bytes_received for h in hosts) == pytest.approx(expected, rel=1e-6)
+
+    @given(flow_specs, bandwidths)
+    @settings(max_examples=40, deadline=None)
+    def test_completion_no_earlier_than_physical_bound(self, specs, bw):
+        """No flow can finish faster than its size over the link capacity."""
+        sim = Simulator()
+        net = Network(sim)
+        hosts = [net.add_host(f"h{i}", up_bw=bw, down_bw=bw, latency=0.0) for i in range(5)]
+        finished = {}
+        for i, (src, dst, size) in enumerate(specs):
+            if src == dst:
+                continue
+            net.transfer(
+                hosts[src],
+                hosts[dst],
+                size,
+                on_complete=lambda f, i=i, s=size: finished.__setitem__(i, (sim.now, s)),
+            )
+        sim.run_until_idle()
+        for _, (t, size) in finished.items():
+            assert t >= size / bw - 1e-9
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=100.0, max_value=1e5),
+        st.floats(min_value=1.0, max_value=1e5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fan_in_bounded_by_receiver_capacity(self, senders, bw, size):
+        """N equal flows into one receiver take ~N*size/bw in total."""
+        sim = Simulator()
+        net = Network(sim)
+        sink = net.add_host("sink", down_bw=bw, latency=0.0)
+        done = []
+        for i in range(senders):
+            src = net.add_host(f"s{i}", up_bw=math.inf, latency=0.0)
+            net.transfer(src, sink, size, on_complete=lambda f: done.append(sim.now))
+        sim.run_until_idle()
+        assert len(done) == senders
+        assert max(done) == pytest.approx(senders * size / bw, rel=1e-6)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_given_same_inputs(self, data):
+        specs = data.draw(flow_specs)
+
+        def run():
+            sim = Simulator()
+            net = Network(sim)
+            hosts = [
+                net.add_host(f"h{i}", up_bw=1e4, down_bw=1e4, latency=0.001)
+                for i in range(5)
+            ]
+            times = []
+            for src, dst, size in specs:
+                if src != dst:
+                    net.transfer(
+                        hosts[src], hosts[dst], size,
+                        on_complete=lambda f: times.append(sim.now),
+                    )
+            sim.run_until_idle()
+            return times
+
+        assert run() == run()

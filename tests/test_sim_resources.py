@@ -1,0 +1,78 @@
+"""Unit tests for CPU/memory resource profiles."""
+
+import pytest
+
+from repro.sim.resources import ResourceProfile, sample_grid
+
+
+class TestResourceProfile:
+    def test_baseline_only(self):
+        p = ResourceProfile("n", baseline_cpu=0.2, baseline_memory=100.0)
+        assert p.cpu_at(5.0) == 0.2
+        assert p.memory_at(5.0) == 100.0
+
+    def test_cpu_interval_applies_within_bounds(self):
+        p = ResourceProfile("n")
+        p.add_cpu(1.0, 3.0, 0.5)
+        assert p.cpu_at(0.5) == 0.0
+        assert p.cpu_at(2.0) == 0.5
+        assert p.cpu_at(3.0) == 0.0  # half-open interval
+
+    def test_overlapping_cpu_adds_and_clamps(self):
+        p = ResourceProfile("n", baseline_cpu=0.3)
+        p.add_cpu(0.0, 10.0, 0.5)
+        p.add_cpu(0.0, 10.0, 0.6)
+        assert p.cpu_at(5.0) == 1.0  # clamped
+
+    def test_memory_adds(self):
+        p = ResourceProfile("n", baseline_memory=50.0)
+        p.add_memory(0.0, 2.0, 100.0)
+        p.add_memory(1.0, 3.0, 25.0)
+        assert p.memory_at(1.5) == 175.0
+        assert p.memory_at(2.5) == 75.0
+
+    def test_series_sampling(self):
+        p = ResourceProfile("n")
+        p.add_cpu(1.0, 2.0, 0.4)
+        assert p.cpu_series([0.0, 1.5, 3.0]) == [0.0, 0.4, 0.0]
+
+    def test_cpu_seconds_integral(self):
+        p = ResourceProfile("n")
+        p.add_cpu(0.0, 4.0, 0.25)
+        assert p.cpu_seconds() == pytest.approx(1.0)
+
+    def test_peak_memory(self):
+        p = ResourceProfile("n", baseline_memory=10.0)
+        p.add_memory(2.0, 4.0, 90.0)
+        assert p.peak_memory([0.0, 3.0, 5.0]) == 100.0
+
+    def test_invalid_intervals_rejected(self):
+        p = ResourceProfile("n")
+        with pytest.raises(ValueError):
+            p.add_cpu(2.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            p.add_cpu(0.0, 1.0, -0.5)
+        with pytest.raises(ValueError):
+            p.add_memory(0.0, 1.0, -1.0)
+
+    def test_invalid_baselines_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceProfile("n", baseline_cpu=1.5)
+        with pytest.raises(ValueError):
+            ResourceProfile("n", baseline_memory=-1)
+
+
+class TestSampleGrid:
+    def test_grid_points(self):
+        assert sample_grid(0.0, 3.0, 1.0) == [0.0, 1.0, 2.0]
+
+    def test_empty_grid(self):
+        assert sample_grid(5.0, 5.0, 1.0) == []
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            sample_grid(0.0, 1.0, 0.0)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            sample_grid(2.0, 1.0, 0.5)

@@ -1,0 +1,80 @@
+"""Model-based (stateful) property test: StateStore behaves like a dict.
+
+Hypothesis drives random sequences of put/get/delete/snapshot/restore
+operations against both the store and a plain-dict model; any divergence
+in contents, length, or size-accounting invariants is a bug.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.state.store import StateStore
+
+keys = st.text(min_size=1, max_size=6)
+values = st.one_of(st.integers(), st.text(max_size=12), st.tuples(st.integers()))
+
+
+class StateStoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = StateStore("model/test")
+        self.model = {}
+        self.snapshots = []
+        self.time = 0.0
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        assert self.store.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=keys, default=values)
+    def get(self, key, default):
+        assert self.store.get(key, default) == self.model.get(key, default)
+
+    @rule(key=keys)
+    def update_counter(self, key):
+        expected = (self.model.get(key) or 0) if isinstance(self.model.get(key), int) else 0
+        result = self.store.update(key, lambda v: (v if isinstance(v, int) else 0) + 1)
+        assert result == (expected if isinstance(self.model.get(key), int) else 0) + 1
+        self.model[key] = result
+
+    @rule()
+    def snapshot(self):
+        self.time += 1.0
+        snap = self.store.snapshot(self.time)
+        self.snapshots.append((snap, dict(self.model)))
+
+    @precondition(lambda self: self.snapshots)
+    @rule()
+    def restore_latest(self):
+        snap, contents = self.snapshots[-1]
+        self.store.restore(snap)
+        self.model = dict(contents)
+
+    @invariant()
+    def contents_match(self):
+        assert dict(self.store.items()) == self.model
+        assert len(self.store) == len(self.model)
+
+    @invariant()
+    def size_accounting_consistent(self):
+        # Size is exactly the sum of per-entry estimates — no drift from
+        # overwrites or deletes.
+        from repro.state.store import estimate_entry_bytes
+
+        expected = sum(estimate_entry_bytes(k, v) for k, v in self.model.items())
+        assert self.store.size_bytes == expected
+
+    @invariant()
+    def snapshots_frozen(self):
+        # Earlier snapshots never change, no matter what the store does.
+        for snap, contents in self.snapshots:
+            assert snap.as_dict() == contents
+
+
+TestStateStoreModel = StateStoreMachine.TestCase

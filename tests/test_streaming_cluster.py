@@ -1,0 +1,226 @@
+"""Integration tests for the local cluster executor and SR3 backend."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.dht.overlay import Overlay
+from repro.errors import RecoveryError, StateError, StreamRuntimeError, TopologyError
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.model import RecoveryContext
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.streaming.backend import SR3StateBackend
+from repro.streaming.cluster import LocalCluster
+from repro.streaming.component import FunctionBolt, IteratorSpout
+from repro.streaming.groupings import FieldsGrouping, GlobalGrouping
+from repro.streaming.stateful import CountingBolt
+from repro.streaming.topology import TopologyBuilder
+
+WORDS = ["apple", "pear", "apple", "plum", "apple", "pear", "fig"] * 30
+
+
+def wordcount_topology(parallelism=2):
+    builder = TopologyBuilder("wc")
+    builder.set_spout("source", IteratorSpout(((w,) for w in WORDS), ["word"]))
+    builder.set_bolt(
+        "count",
+        CountingBolt("word"),
+        [("source", FieldsGrouping(["word"]))],
+        parallelism=parallelism,
+    )
+    return builder.build()
+
+
+def sr3_backend(seed=0, num_nodes=64):
+    sim = Simulator()
+    net = Network(sim)
+    overlay = Overlay(sim, net, rng=random.Random(seed))
+    overlay.build(num_nodes)
+    manager = RecoveryManager(RecoveryContext(sim, net, overlay))
+    return SR3StateBackend(manager, num_shards=4, num_replicas=2)
+
+
+class TestExecution:
+    def test_counts_match_ground_truth(self):
+        cluster = LocalCluster(wordcount_topology())
+        cluster.run()
+        merged = {}
+        for bolt in cluster.stateful_tasks().values():
+            merged.update(dict(bolt.state.items()))
+        assert merged == dict(Counter(WORDS))
+
+    def test_fields_grouping_partitions_keys(self):
+        cluster = LocalCluster(wordcount_topology(parallelism=3))
+        cluster.run()
+        seen = {}
+        for (component, index), bolt in cluster.stateful_tasks().items():
+            for word in dict(bolt.state.items()):
+                assert word not in seen, "key on two tasks"
+                seen[word] = index
+        assert set(seen) == set(WORDS)
+
+    def test_outputs_captured_for_terminal_components(self):
+        cluster = LocalCluster(wordcount_topology())
+        cluster.run()
+        assert len(cluster.outputs["count"]) == len(WORDS)
+
+    def test_max_emissions_cap(self):
+        cluster = LocalCluster(wordcount_topology())
+        emitted = cluster.run(max_emissions=10)
+        assert emitted == 10
+
+    def test_executed_counts(self):
+        cluster = LocalCluster(wordcount_topology())
+        cluster.run()
+        assert cluster.executed_counts["count"] == len(WORDS)
+
+    def test_multi_stage_pipeline(self):
+        builder = TopologyBuilder("pipeline")
+        builder.set_spout("nums", IteratorSpout(((i,) for i in range(10)), ["n"]))
+        builder.set_bolt("double", FunctionBolt(lambda t: [(t["n"] * 2,)], ["n"]), ["nums"])
+        builder.set_bolt(
+            "evens_only",
+            FunctionBolt(lambda t: [(t["n"],)] if t["n"] % 4 == 0 else [], ["n"]),
+            ["double"],
+        )
+        cluster = LocalCluster(builder.build())
+        cluster.run()
+        values = [t["n"] for t in cluster.outputs["evens_only"]]
+        assert values == [0, 4, 8, 12, 16]
+
+    def test_unknown_task_lookup(self):
+        cluster = LocalCluster(wordcount_topology())
+        with pytest.raises(TopologyError):
+            cluster.task("ghost")
+
+
+class TestFailureWithoutBackend:
+    def test_killed_task_rejects_tuples(self):
+        cluster = LocalCluster(wordcount_topology(parallelism=1))
+        cluster.kill_task("count", 0)
+        with pytest.raises(StreamRuntimeError):
+            cluster.run()
+
+    def test_stateless_restart_loses_state(self):
+        cluster = LocalCluster(wordcount_topology(parallelism=1))
+        cluster.run(max_emissions=50)
+        cluster.kill_task("count", 0)
+        cluster.recover_task("count", 0)
+        assert len(cluster.task("count", 0).state) == 0
+
+    def test_recover_alive_task_rejected(self):
+        cluster = LocalCluster(wordcount_topology())
+        with pytest.raises(StreamRuntimeError):
+            cluster.recover_task("count", 0)
+
+    def test_kill_unknown_task_rejected(self):
+        cluster = LocalCluster(wordcount_topology())
+        with pytest.raises(TopologyError):
+            cluster.kill_task("ghost", 0)
+
+
+class TestSR3Integration:
+    def test_state_recovered_exactly(self):
+        backend = sr3_backend()
+        cluster = LocalCluster(wordcount_topology(), backend=backend)
+        cluster.protect_stateful_tasks()
+        cluster.run()
+        expected = {
+            key: dict(bolt.state.items())
+            for key, bolt in cluster.stateful_tasks().items()
+        }
+        cluster.checkpoint()
+        cluster.kill_task("count", 0)
+        cluster.kill_task("count", 1)
+        cluster.recover_task("count", 0)
+        cluster.recover_task("count", 1)
+        for key, bolt in cluster.stateful_tasks().items():
+            assert dict(bolt.state.items()) == expected[key]
+
+    def test_processing_resumes_after_recovery(self):
+        backend = sr3_backend(seed=1)
+        builder = TopologyBuilder("wc")
+        first, second = WORDS[:100], WORDS[100:]
+        builder.set_spout(
+            "source", IteratorSpout(((w,) for w in first + second), ["word"])
+        )
+        builder.set_bolt(
+            "count", CountingBolt("word"), [("source", GlobalGrouping())]
+        )
+        cluster = LocalCluster(builder.build(), backend=backend)
+        cluster.protect_stateful_tasks()
+        cluster.run(max_emissions=100)
+        cluster.checkpoint()
+        cluster.kill_task("count", 0)
+        cluster.recover_task("count", 0)
+        cluster.run()
+        assert dict(cluster.task("count", 0).state.items()) == dict(Counter(WORDS))
+
+    def test_unprotected_checkpoint_rejected(self):
+        cluster = LocalCluster(wordcount_topology())
+        with pytest.raises(StreamRuntimeError):
+            cluster.checkpoint()
+        with pytest.raises(StreamRuntimeError):
+            cluster.protect_stateful_tasks()
+
+    def test_backend_refreshes_on_resave(self):
+        backend = sr3_backend(seed=2)
+        cluster = LocalCluster(wordcount_topology(parallelism=1), backend=backend)
+        cluster.protect_stateful_tasks()
+        cluster.run(max_emissions=30)
+        cluster.checkpoint()
+        cluster.run()
+        cluster.checkpoint()  # second round refreshes shards
+        cluster.kill_task("count", 0)
+        cluster.recover_task("count", 0)
+        assert dict(cluster.task("count", 0).state.items()) == dict(Counter(WORDS))
+
+
+class TestBackendUnit:
+    def test_protect_duplicate_rejected(self):
+        backend = sr3_backend()
+        from repro.state.store import StateStore
+
+        store = StateStore("t/state")
+        node = backend.manager.ctx.overlay.nodes[0]
+        backend.protect("t", store, node)
+        with pytest.raises(StateError):
+            backend.protect("t", store, node)
+
+    def test_recover_unsaved_rejected(self):
+        backend = sr3_backend()
+        from repro.state.store import StateStore
+
+        store = StateStore("t/state")
+        backend.protect("t", store, backend.manager.ctx.overlay.nodes[0])
+        with pytest.raises(RecoveryError):
+            backend.recover_task("t")
+
+    def test_unknown_task_rejected(self):
+        backend = sr3_backend()
+        with pytest.raises(StateError):
+            backend.save_task("ghost")
+
+    def test_invalid_config(self):
+        backend = sr3_backend()
+        with pytest.raises(StateError):
+            SR3StateBackend(backend.manager, num_shards=0)
+
+    def test_recovery_onto_replacement_after_node_failure(self):
+        backend = sr3_backend(seed=3)
+        from repro.state.store import StateStore
+
+        overlay = backend.manager.ctx.overlay
+        store = StateStore("t/state")
+        for i in range(100):
+            store.put(f"k{i}", i)
+        node = overlay.nodes[0]
+        backend.protect("t", store, node)
+        backend.save_task("t")
+        backend.sim.run_until_idle()
+        overlay.fail_node(node)
+        recovered, result = backend.recover_task("t")
+        assert dict(recovered.items()) == {f"k{i}": i for i in range(100)}
+        assert result.duration > 0

@@ -1,0 +1,199 @@
+"""Unit tests for tuples, components, groupings, and topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.streaming.component import (
+    FunctionBolt,
+    IteratorSpout,
+    OutputCollector,
+    TaskContext,
+)
+from repro.streaming.groupings import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    ShuffleGrouping,
+)
+from repro.streaming.topology import TopologyBuilder
+from repro.streaming.tuples import StreamTuple
+
+
+class TestStreamTuple:
+    def test_field_access(self):
+        t = StreamTuple((1, "x"), ("count", "word"))
+        assert t["count"] == 1
+        assert t["word"] == "x"
+        assert t.get("missing", 7) == 7
+
+    def test_unknown_field(self):
+        t = StreamTuple((1,), ("a",))
+        with pytest.raises(KeyError):
+            _ = t["b"]
+
+    def test_mismatched_arity(self):
+        with pytest.raises(TopologyError):
+            StreamTuple((1, 2), ("a",))
+
+    def test_as_dict_and_equality(self):
+        t = StreamTuple((1, 2), ("a", "b"))
+        assert t.as_dict() == {"a": 1, "b": 2}
+        assert t == StreamTuple((1, 2), ("a", "b"))
+        assert t != StreamTuple((1, 3), ("a", "b"))
+        assert len({t, StreamTuple((1, 2), ("a", "b"))}) == 1
+
+
+class TestCollector:
+    def test_emit_and_drain(self):
+        collector = OutputCollector("src", ("a",))
+        collector.emit((1,))
+        collector.emit((2,), timestamp=5.0)
+        drained = collector.drain()
+        assert [t["a"] for t in drained] == [1, 2]
+        assert drained[1].timestamp == 5.0
+        assert drained[0].source == "src"
+        assert collector.drain() == []
+
+
+class TestHelperComponents:
+    def test_iterator_spout_exhausts(self):
+        spout = IteratorSpout(iter([(1,), (2,)]), ("v",))
+        collector = OutputCollector("s", ("v",))
+        assert spout.next_tuple(collector)
+        assert spout.next_tuple(collector)
+        assert not spout.next_tuple(collector)
+        assert [t["v"] for t in collector.drain()] == [1, 2]
+
+    def test_function_bolt_maps(self):
+        bolt = FunctionBolt(lambda t: [(t["v"] * 2,)], ("v",))
+        collector = OutputCollector("b", ("v",))
+        bolt.execute(StreamTuple((3,), ("v",)), collector)
+        assert collector.drain()[0]["v"] == 6
+
+    def test_function_bolt_filter_via_empty(self):
+        bolt = FunctionBolt(lambda t: [] if t["v"] < 0 else [(t["v"],)], ("v",))
+        collector = OutputCollector("b", ("v",))
+        bolt.execute(StreamTuple((-1,), ("v",)), collector)
+        assert collector.drain() == []
+
+    def test_task_context_bounds(self):
+        with pytest.raises(TopologyError):
+            TaskContext("c", 2, 2)
+        assert TaskContext("c", 1, 2).task_id == "c[1]"
+
+
+class TestGroupings:
+    def test_shuffle_round_robin(self):
+        g = ShuffleGrouping()
+        t = StreamTuple((1,), ("a",))
+        assert [g.choose(t, 3)[0] for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    @given(st.text(min_size=1), st.integers(min_value=1, max_value=16))
+    def test_fields_same_key_same_task(self, key, tasks):
+        g = FieldsGrouping(["k"])
+        t = StreamTuple((key,), ("k",))
+        first = g.choose(t, tasks)
+        assert g.choose(t, tasks) == first
+        assert 0 <= first[0] < tasks
+
+    def test_fields_requires_fields(self):
+        with pytest.raises(TopologyError):
+            FieldsGrouping([])
+
+    def test_fields_spreads_keys(self):
+        g = FieldsGrouping(["k"])
+        targets = {
+            g.choose(StreamTuple((f"key-{i}",), ("k",)), 8)[0] for i in range(200)
+        }
+        assert len(targets) >= 6  # nearly all tasks get traffic
+
+    def test_global_always_zero(self):
+        g = GlobalGrouping()
+        assert g.choose(StreamTuple((1,), ("a",)), 5) == [0]
+
+    def test_all_replicates(self):
+        g = AllGrouping()
+        assert g.choose(StreamTuple((1,), ("a",)), 4) == [0, 1, 2, 3]
+
+
+class TestTopologyBuilder:
+    def _spout(self):
+        return IteratorSpout(iter([]), ("v",))
+
+    def _bolt(self):
+        return FunctionBolt(lambda t: [(t["v"],)], ("v",))
+
+    def test_minimal_topology(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", self._spout())
+        builder.set_bolt("b", self._bolt(), ["s"])
+        topo = builder.build()
+        assert topo.order == ["s", "b"]
+        assert topo.downstream_of("s")[0].target == "b"
+        assert topo.upstream_of("b")[0].source == "s"
+
+    def test_no_spout_rejected(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_duplicate_ids_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("x", self._spout())
+        with pytest.raises(TopologyError):
+            builder.set_bolt("x", self._bolt(), ["x"])
+
+    def test_unknown_upstream_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", self._spout())
+        builder.set_bolt("b", self._bolt(), ["ghost"])
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_bolt_without_upstream_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", self._spout())
+        with pytest.raises(TopologyError):
+            builder.set_bolt("b", self._bolt(), [])
+
+    def test_cycle_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", self._spout())
+        builder.set_bolt("a", self._bolt(), ["s", "b"])
+        builder.set_bolt("b", self._bolt(), ["a"])
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_self_loop_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", self._spout())
+        with pytest.raises(TopologyError):
+            builder.set_bolt("b", self._bolt(), ["b"]).build()
+
+    def test_diamond_topology_order(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", self._spout())
+        builder.set_bolt("l", self._bolt(), ["s"])
+        builder.set_bolt("r", self._bolt(), ["s"])
+        builder.set_bolt("join", self._bolt(), ["l", "r"])
+        topo = builder.build()
+        assert topo.order.index("join") > topo.order.index("l")
+        assert topo.order.index("join") > topo.order.index("r")
+
+    def test_spout_type_checked(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError):
+            builder.set_spout("s", self._bolt())
+
+    def test_parallelism_validated(self):
+        builder = TopologyBuilder("t")
+        with pytest.raises(TopologyError):
+            builder.set_spout("s", self._spout(), parallelism=0)
+
+    def test_string_upstream_gets_shuffle(self):
+        builder = TopologyBuilder("t")
+        builder.set_spout("s", self._spout())
+        builder.set_bolt("b", self._bolt(), ["s"])
+        topo = builder.build()
+        assert isinstance(topo.edges[0].grouping, ShuffleGrouping)

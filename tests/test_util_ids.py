@@ -1,0 +1,155 @@
+"""Unit tests for the 128-bit id space helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.ids import (
+    ID_BITS,
+    ID_SPACE,
+    NodeId,
+    closest_id,
+    node_id_from_bytes,
+    node_id_from_name,
+    random_node_id,
+    ring_between,
+    shard_key,
+)
+
+ids = st.integers(min_value=0, max_value=ID_SPACE - 1).map(NodeId)
+
+
+class TestNodeIdBasics:
+    def test_value_roundtrip(self):
+        assert int(NodeId(42)) == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NodeId(-1)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            NodeId(ID_SPACE)
+
+    def test_hex_is_32_digits(self):
+        assert len(NodeId(1).hex()) == 32
+        assert NodeId(255).hex().endswith("ff")
+
+    def test_ordering(self):
+        assert NodeId(1) < NodeId(2)
+        assert NodeId(2) >= NodeId(1)
+
+    def test_hashable_and_equal(self):
+        assert NodeId(7) == NodeId(7)
+        assert len({NodeId(7), NodeId(7), NodeId(8)}) == 2
+
+
+class TestDigits:
+    def test_digit_count_default(self):
+        assert len(NodeId(0).digits()) == ID_BITS // 4
+
+    def test_digits_msb_first(self):
+        # Highest hex digit of a value with only the top nibble set.
+        top = NodeId(0xF << (ID_BITS - 4))
+        assert top.digits()[0] == 0xF
+        assert all(d == 0 for d in top.digits()[1:])
+
+    def test_digits_base_2(self):
+        assert len(NodeId(0).digits(1)) == ID_BITS
+
+    def test_invalid_digit_width(self):
+        with pytest.raises(ValueError):
+            NodeId(0).digits(5)
+
+    @given(ids)
+    def test_digits_reassemble(self, node_id):
+        digits = node_id.digits(4)
+        value = 0
+        for d in digits:
+            value = (value << 4) | d
+        assert value == node_id.value
+
+
+class TestPrefixAndDistance:
+    def test_shared_prefix_full(self):
+        a = NodeId(12345)
+        assert a.shared_prefix_length(a) == ID_BITS // 4
+
+    def test_shared_prefix_zero(self):
+        a = NodeId(0)
+        b = NodeId(0xF << (ID_BITS - 4))
+        assert a.shared_prefix_length(b) == 0
+
+    @given(ids, ids)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance(b) == b.distance(a)
+
+    @given(ids)
+    def test_distance_to_self_zero(self, a):
+        assert a.distance(a) == 0
+
+    @given(ids, ids)
+    def test_distance_at_most_half_ring(self, a, b):
+        assert a.distance(b) <= ID_SPACE // 2
+
+    @given(ids, ids)
+    def test_clockwise_distances_sum_to_ring(self, a, b):
+        if a != b:
+            assert a.clockwise_distance(b) + b.clockwise_distance(a) == ID_SPACE
+
+    def test_wraparound_distance(self):
+        a = NodeId(0)
+        b = NodeId(ID_SPACE - 1)
+        assert a.distance(b) == 1
+
+
+class TestDerivedIds:
+    def test_from_name_deterministic(self):
+        assert node_id_from_name("x") == node_id_from_name("x")
+
+    def test_from_name_distinct(self):
+        assert node_id_from_name("x") != node_id_from_name("y")
+
+    def test_from_bytes_matches_name(self):
+        assert node_id_from_bytes(b"abc") == node_id_from_name("abc")
+
+    def test_random_is_seed_deterministic(self):
+        assert random_node_id(random.Random(5)) == random_node_id(random.Random(5))
+
+    def test_shard_key_varies_by_replica(self):
+        a = shard_key("app", "state", 0, 0)
+        b = shard_key("app", "state", 0, 1)
+        assert a != b
+
+    def test_shard_key_varies_by_index(self):
+        assert shard_key("app", "s", 0, 0) != shard_key("app", "s", 1, 0)
+
+
+class TestRingHelpers:
+    def test_ring_between_simple(self):
+        assert ring_between(NodeId(10), NodeId(20), NodeId(30))
+        assert not ring_between(NodeId(10), NodeId(40), NodeId(30))
+
+    def test_ring_between_wraparound(self):
+        low = NodeId(ID_SPACE - 5)
+        high = NodeId(5)
+        assert ring_between(low, NodeId(1), high)
+        assert not ring_between(low, NodeId(100), high)
+
+    def test_ring_between_degenerate(self):
+        assert ring_between(NodeId(7), NodeId(123), NodeId(7))
+
+    def test_closest_id(self):
+        target = NodeId(100)
+        pool = [NodeId(90), NodeId(105), NodeId(300)]
+        assert closest_id(target, pool) == NodeId(105)
+
+    def test_closest_id_empty_pool(self):
+        with pytest.raises(ValueError):
+            closest_id(NodeId(1), [])
+
+    @given(ids, st.lists(ids, min_size=1, max_size=10))
+    def test_closest_id_is_minimal(self, target, pool):
+        best = closest_id(target, pool)
+        assert all(target.distance(best) <= target.distance(c) for c in pool)

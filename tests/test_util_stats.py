@@ -1,0 +1,114 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    coefficient_of_variation,
+    mean,
+    median,
+    normal_percentile_points,
+    percentile,
+    stdev,
+    summarize,
+)
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even_interpolates(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_stdev_constant(self):
+        assert stdev([5, 5, 5]) == 0
+
+    def test_stdev_known(self):
+        assert stdev([2, 4]) == pytest.approx(1.0)
+
+    def test_stdev_empty(self):
+        with pytest.raises(ValueError):
+            stdev([])
+
+
+class TestPercentile:
+    def test_bounds(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    @given(samples, st.floats(min_value=0, max_value=100))
+    def test_within_min_max(self, data, pct):
+        p = percentile(data, pct)
+        assert min(data) <= p <= max(data)
+
+    @given(samples)
+    def test_monotone_in_pct(self, data):
+        assert percentile(data, 25) <= percentile(data, 75)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.minimum == 1
+        assert s.maximum == 4
+        assert s.p50 == 2.5
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0]).as_dict()
+        assert set(d) == {"count", "mean", "stdev", "min", "p50", "p95", "p99", "max"}
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestNormalPercentiles:
+    def test_points_sorted_and_probabilities(self):
+        points = normal_percentile_points([3, 1, 2])
+        assert [v for v, _ in points] == [1, 2, 3]
+        probs = [p for _, p in points]
+        assert probs == pytest.approx([1 / 6, 3 / 6, 5 / 6])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            normal_percentile_points([])
+
+
+class TestCoV:
+    def test_uniform_is_zero(self):
+        assert coefficient_of_variation([4, 4, 4]) == 0
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1, 1])
+
+    def test_known_value(self):
+        assert coefficient_of_variation([2, 4]) == pytest.approx(1 / 3)

@@ -1,0 +1,118 @@
+"""Tests for the session-analytics workload (session windows + state)."""
+
+import random
+
+import pytest
+
+from repro.dht.overlay import Overlay
+from repro.errors import WorkloadError
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.model import RecoveryContext
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.streaming.backend import SR3StateBackend
+from repro.streaming.cluster import LocalCluster
+from repro.streaming.component import OutputCollector, TaskContext
+from repro.streaming.tuples import StreamTuple
+from repro.workloads.sessions import (
+    SessionAnalyticsBolt,
+    build_session_analytics_topology,
+)
+
+
+def prepared_bolt(gap=10.0):
+    bolt = SessionAnalyticsBolt(gap=gap)
+    bolt.prepare(TaskContext("sessions", 0, 1))
+    return bolt
+
+
+def send(bolt, user, ts, event="click"):
+    collector = OutputCollector("sessions", bolt.declare_output_fields())
+    bolt.execute(
+        StreamTuple(
+            (event, user, "ip", "product", ts),
+            ("event", "user", "ip", "product", "ts"),
+        ),
+        collector,
+    )
+    return collector.drain()
+
+
+class TestSessionBolt:
+    def test_gap_closes_session(self):
+        bolt = prepared_bolt(gap=10.0)
+        assert send(bolt, "u1", 0.0) == []
+        assert send(bolt, "u1", 5.0) == []
+        out = send(bolt, "u1", 30.0)  # gap exceeded -> previous session closes
+        assert len(out) == 1
+        assert out[0]["session_events"] == 2
+        assert out[0]["session_span"] == 5.0
+        assert bolt.stats_for("u1") == (1, 2, 2)
+
+    def test_sessions_are_per_user(self):
+        bolt = prepared_bolt(gap=10.0)
+        send(bolt, "u1", 0.0)
+        assert send(bolt, "u2", 100.0) == []  # different user: no closure
+
+    def test_finish_flushes_open_sessions(self):
+        bolt = prepared_bolt(gap=10.0)
+        send(bolt, "u1", 0.0)
+        send(bolt, "u2", 3.0)
+        collector = OutputCollector("sessions", bolt.declare_output_fields())
+        bolt.finish(collector)
+        flushed = collector.drain()
+        assert {t["user"] for t in flushed} == {"u1", "u2"}
+        assert bolt.stats_for("u1")[0] == 1
+
+    def test_longest_session_tracked(self):
+        bolt = prepared_bolt(gap=10.0)
+        for ts in (0.0, 1.0, 2.0):
+            send(bolt, "u1", ts)
+        send(bolt, "u1", 50.0)  # closes 3-event session
+        send(bolt, "u1", 100.0)  # closes 1-event session
+        assert bolt.stats_for("u1") == (2, 4, 3)
+
+    def test_invalid_gap(self):
+        with pytest.raises(WorkloadError):
+            SessionAnalyticsBolt(gap=0)
+
+
+class TestSessionTopology:
+    def test_end_to_end_sessions_close(self):
+        cluster = LocalCluster(
+            build_session_analytics_topology(num_events=3000, seed=2, gap=50.0)
+        )
+        cluster.run()
+        cluster.flush()
+        sessions = cluster.outputs["sessions"]
+        assert sessions
+        assert all(t["session_events"] >= 1 for t in sessions)
+
+    def test_total_events_conserved(self):
+        cluster = LocalCluster(
+            build_session_analytics_topology(num_events=1000, seed=3, gap=50.0)
+        )
+        cluster.run()
+        cluster.flush()
+        total = sum(t["session_events"] for t in cluster.outputs["sessions"])
+        assert total == 1000
+
+    def test_state_survives_sr3_recovery(self):
+        sim = Simulator()
+        net = Network(sim)
+        overlay = Overlay(sim, net, rng=random.Random(8))
+        overlay.build(64)
+        backend = SR3StateBackend(
+            RecoveryManager(RecoveryContext(sim, net, overlay)), num_shards=2
+        )
+        cluster = LocalCluster(
+            build_session_analytics_topology(num_events=2000, seed=4, parallelism=1),
+            backend=backend,
+        )
+        cluster.protect_stateful_tasks()
+        cluster.run(max_emissions=1200)
+        cluster.checkpoint()
+        before = dict(cluster.task("sessions").state.items())
+        cluster.kill_task("sessions")
+        cluster.recover_task("sessions")
+        assert dict(cluster.task("sessions").state.items()) == before
