@@ -8,16 +8,18 @@ Runs the full SR3 pipeline on a 64-node simulated overlay:
 3. save the replicas into the DHT ring (``Save``),
 4. crash the owner node,
 5. recover the state through the heuristic-selected mechanism
-   (``Selection`` + ``Recover``), and verify the contents survived.
+   (``Selection`` + ``Recover``), and verify the contents survived,
+6. export the span timeline of the whole run as a Chrome trace.
 
 Usage: python examples/quickstart.py
 """
 
 from repro import SR3
+from repro.obs import Tracer
 
 
 def main() -> None:
-    sr3 = SR3.create(num_nodes=64, seed=7)
+    sr3 = SR3.create(num_nodes=64, seed=7, tracer=Tracer("quickstart"))
     owner = sr3.overlay.nodes[0]
 
     # The operator's in-memory hashtable state: product -> click count.
@@ -37,7 +39,7 @@ def main() -> None:
         state_size=sum(s.size_bytes for s in shards),
         network_bw_mbit=1000,
     )
-    print(f"selection heuristic chose: {choice.value}")
+    print(f"selection heuristic chose: {choice.value} (knobs: {choice.knobs})")
 
     # Crash the owner. The overlay repairs itself; the numerically closest
     # surviving node takes over the failed node's key range.
@@ -50,6 +52,12 @@ def main() -> None:
         f"onto {result.replacement} in {result.duration:.2f}s, "
         f"involving {result.nodes_involved} nodes"
     )
+
+    # Every save and recovery above produced hierarchical spans on the
+    # simulation's virtual clock; dump them for chrome://tracing.
+    path = sr3.export_trace("quickstart-trace.json")
+    spans = len(sr3.tracer.spans)
+    print(f"wrote {spans} spans to {path}")
 
 
 if __name__ == "__main__":

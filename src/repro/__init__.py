@@ -19,14 +19,16 @@ paper by Xu, Liu, Cruz-Diaz, Da Silva and Hu. The package contains:
 - ``repro.workloads`` — seeded synthetic equivalents of the paper's
   datasets and the Fig. 1 applications;
 - ``repro.bench`` — the experiment harness regenerating every table and
-  figure of the evaluation.
+  figure of the evaluation;
+- ``repro.obs`` — deterministic span tracing and the metrics registry
+  behind every layer above.
 
 Quick start: :class:`repro.SR3` (see ``examples/quickstart.py``).
 """
 
-from repro.api import SR3
+from repro.api import SR3, SelectionResult, SplitResult
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
-__all__ = ["SR3", "ReproError", "__version__"]
+__all__ = ["SR3", "SelectionResult", "SplitResult", "ReproError", "__version__"]

@@ -22,12 +22,14 @@ SaveResult(...)
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.dht.node import DhtNode
 from repro.dht.overlay import Overlay
 from repro.errors import RecoveryError, StateError
+from repro.obs.export import write_trace
+from repro.obs.tracer import Tracer
 from repro.recovery.line import LineRecovery
 from repro.recovery.manager import MechanismImpl, RecoveryManager
 from repro.recovery.model import CostModel, RecoveryContext, RecoveryResult
@@ -44,10 +46,9 @@ from repro.recovery.tree import TreeRecovery
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.state.partitioner import merge_shards, partition_snapshot, partition_synthetic
-from repro.state.placement import LeafSetPlacement
 from repro.state.shard import Shard
 from repro.state.store import StateSnapshot, StateStore
-from repro.util.sizes import MB, mbit_per_s
+from repro.util.sizes import mbit_per_s
 
 
 @dataclass
@@ -55,6 +56,85 @@ class _AppPolicy:
     """Per-application mechanism overrides (Star/Line/TreeDefine)."""
 
     mechanism: Optional[MechanismImpl] = None
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Outcome of :meth:`SR3.state_split`: the shards plus the replication
+    factor they were split for.
+
+    Behaves like the plain list of shards earlier versions returned
+    (iterable, indexable, sized), so existing code keeps working, while
+    :meth:`SR3.save` can read the replication factor directly instead of
+    relying on a hidden side channel.
+    """
+
+    shards: List[Shard]
+    num_replicas: int
+
+    @property
+    def state_name(self) -> str:
+        return self.shards[0].state_name
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __getitem__(self, index):
+        return self.shards[index]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of :meth:`SR3.selection`: the chosen mechanism and the knob
+    values the heuristic pinned for the application.
+
+    Compares equal to the bare :class:`Mechanism` member, so
+    ``result == Mechanism.STAR`` keeps working.
+    """
+
+    mechanism: Mechanism
+    knobs: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def value(self) -> str:
+        return self.mechanism.value
+
+    @property
+    def name(self) -> str:
+        return self.mechanism.name
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SelectionResult):
+            return (self.mechanism, self.knobs) == (other.mechanism, other.knobs)
+        if isinstance(other, Mechanism):
+            return self.mechanism is other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.mechanism)
+
+
+# Mechanism-specific knob aliases accepted by :meth:`SR3.define`, mapped
+# to the constructor parameters of the implementation classes.
+_KNOB_ALIASES = {
+    Mechanism.STAR: {"star_fanout": "fanout_bits", "fanout_bits": "fanout_bits"},
+    Mechanism.LINE: {"length_of_path": "path_length", "path_length": "path_length"},
+    Mechanism.TREE: {
+        "fanout": "fanout_bits",
+        "fanout_bits": "fanout_bits",
+        "branch_depth": "branch_depth",
+        "sub_shards": "sub_shards",
+    },
+}
+
+_MECHANISM_CLASSES = {
+    Mechanism.STAR: StarRecovery,
+    Mechanism.LINE: LineRecovery,
+    Mechanism.TREE: TreeRecovery,
+}
 
 
 class SR3:
@@ -78,13 +158,16 @@ class SR3:
         downlink_mbit: Optional[float] = None,
         leaf_set_size: int = 24,
         cost_model: Optional[CostModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> "SR3":
         """Build a self-contained SR3 deployment on a fresh simulation.
 
         ``uplink_mbit``/``downlink_mbit`` shape every node's link (None
-        means unconstrained, the paper's GbE baseline).
+        means unconstrained, the paper's GbE baseline). Pass a
+        :class:`~repro.obs.Tracer` to capture a span timeline of every
+        save and recovery; export it with :meth:`export_trace`.
         """
-        sim = Simulator()
+        sim = Simulator(tracer=tracer)
         network = Network(sim)
         up = mbit_per_s(uplink_mbit) if uplink_mbit else float("inf")
         down = mbit_per_s(downlink_mbit) if downlink_mbit else float("inf")
@@ -106,11 +189,14 @@ class SR3:
         state_name: str,
         num_shards: int,
         num_replicas: Optional[int] = None,
-    ) -> List[Shard]:
+    ) -> SplitResult:
         """``StateSplit``: partition a state into shards (and set replicas).
 
         ``state`` may be a dict, a :class:`StateStore`, a snapshot, or an
         integer byte size (synthetic state for capacity experiments).
+        Returns a :class:`SplitResult` carrying the shards and the
+        replication factor; it iterates and indexes like a plain shard
+        list.
         """
         replicas = num_replicas or self.num_replicas
         if isinstance(state, int):
@@ -133,8 +219,7 @@ class SR3:
                     f"snapshot is named {snapshot.name!r}, expected {state_name!r}"
                 )
             shards = partition_snapshot(snapshot, num_shards)
-        self._pending_replicas = replicas
-        return shards
+        return SplitResult(shards=shards, num_replicas=replicas)
 
     def _next_version(self, state_name: str):
         from repro.state.version import StateVersion
@@ -150,15 +235,25 @@ class SR3:
     def save(
         self,
         owner: DhtNode,
-        shards: List[Shard],
+        shards: Union[SplitResult, List[Shard]],
         num_replicas: Optional[int] = None,
         serial: bool = True,
     ) -> SaveResult:
-        """``Save``: write the shard replicas into the overlay (blocking)."""
+        """``Save``: write the shard replicas into the overlay (blocking).
+
+        ``shards`` is normally the :class:`SplitResult` from
+        :meth:`state_split`, whose replication factor is used unless
+        ``num_replicas`` overrides it; a bare shard list falls back to the
+        framework default.
+        """
+        if isinstance(shards, SplitResult):
+            replicas = num_replicas or shards.num_replicas
+            shards = shards.shards
+        else:
+            replicas = num_replicas or self.num_replicas
         if not shards:
             raise StateError("cannot save zero shards")
         name = shards[0].state_name
-        replicas = num_replicas or getattr(self, "_pending_replicas", self.num_replicas)
         if name not in self.manager.states:
             self.manager.register(owner, shards, replicas)
         else:
@@ -169,21 +264,76 @@ class SR3:
 
     # ----------------------------------- Table 2: Star/Line/TreeDefine
 
+    def define(
+        self,
+        app_name: str,
+        mechanism: Union[str, Mechanism, MechanismImpl],
+        **knobs,
+    ) -> MechanismImpl:
+        """Pin ``app_name`` to a recovery mechanism with explicit knobs.
+
+        The single entry point behind the paper's ``StarDefine`` /
+        ``LineDefine`` / ``TreeDefine``. ``mechanism`` may be:
+
+        - a name (``"star"``, ``"line"``, ``"tree"``),
+        - a :class:`Mechanism` enum member, or
+        - an already-configured implementation instance (knobs must then
+          be empty).
+
+        Knob aliases follow the paper's parameter names: ``star_fanout``
+        (star), ``length_of_path`` (line), ``fanout`` and ``branch_depth``
+        (tree); the implementation-native names (``fanout_bits``,
+        ``path_length``, ``sub_shards``) are accepted too. Returns the
+        configured mechanism instance.
+        """
+        if isinstance(mechanism, (StarRecovery, LineRecovery, TreeRecovery)):
+            if knobs:
+                raise RecoveryError(
+                    "knobs cannot be combined with a pre-built mechanism instance"
+                )
+            impl = mechanism
+        else:
+            if isinstance(mechanism, str):
+                try:
+                    member = Mechanism(mechanism.lower())
+                except ValueError:
+                    raise RecoveryError(
+                        f"unknown mechanism {mechanism!r}; "
+                        f"expected 'star', 'line' or 'tree'"
+                    ) from None
+            else:
+                member = mechanism
+            if member not in _MECHANISM_CLASSES:
+                raise RecoveryError(
+                    f"mechanism {member.value!r} cannot be pinned to an app"
+                )
+            aliases = _KNOB_ALIASES[member]
+            kwargs = {}
+            for knob, value in knobs.items():
+                try:
+                    kwargs[aliases[knob]] = value
+                except KeyError:
+                    raise RecoveryError(
+                        f"unknown knob {knob!r} for {member.value} recovery; "
+                        f"expected one of {sorted(set(aliases))}"
+                    ) from None
+            impl = _MECHANISM_CLASSES[member](**kwargs)
+        self._policies[app_name] = _AppPolicy(impl)
+        return impl
+
     def star_define(self, app_name: str, star_fanout: int = 2) -> None:
         """``StarDefine``: pin the app to star recovery with this fan-out."""
-        self._policies[app_name] = _AppPolicy(StarRecovery(fanout_bits=star_fanout))
+        self.define(app_name, Mechanism.STAR, star_fanout=star_fanout)
 
     def line_define(self, app_name: str, length_of_path: int = 8) -> None:
         """``LineDefine``: pin the app to line recovery with this path."""
-        self._policies[app_name] = _AppPolicy(LineRecovery(path_length=length_of_path))
+        self.define(app_name, Mechanism.LINE, length_of_path=length_of_path)
 
     def tree_define(
         self, app_name: str, fanout: int = 1, branch_depth: Optional[int] = None
     ) -> None:
         """``TreeDefine``: pin the app to tree recovery with these knobs."""
-        self._policies[app_name] = _AppPolicy(
-            TreeRecovery(fanout_bits=fanout, branch_depth=branch_depth)
-        )
+        self.define(app_name, Mechanism.TREE, fanout=fanout, branch_depth=branch_depth)
 
     # ------------------------------------------------------ Table 2: Selection
 
@@ -193,12 +343,15 @@ class SR3:
         requirement: str,
         state_size: float,
         network_bw_mbit: Optional[float] = None,
-    ) -> Mechanism:
+    ) -> SelectionResult:
         """``Selection``: run the Fig. 7 heuristic and pin the result.
 
         ``requirement`` is ``"latency-sensitive"`` or
         ``"latency-insensitive"``; ``network_bw_mbit`` below 1000 counts
-        as a bandwidth-constrained environment.
+        as a bandwidth-constrained environment. Returns a
+        :class:`SelectionResult` whose ``knobs`` are the parameter values
+        the heuristic pinned for the app (it compares equal to the bare
+        :class:`Mechanism` member).
         """
         requirement = requirement.lower()
         if requirement not in ("latency-sensitive", "latency-insensitive"):
@@ -214,17 +367,19 @@ class SR3:
                 bandwidth_constrained=constrained,
             )
         )
+        knobs: Dict[str, int] = {}
         if choice is Mechanism.STAR:
-            self.star_define(app_name)
+            knobs["star_fanout"] = 2
+            self.define(app_name, choice, **knobs)
         elif choice is Mechanism.LINE:
-            self.line_define(
-                app_name, recommended_path_length(state_size, latency_sensitive)
+            knobs["length_of_path"] = recommended_path_length(
+                state_size, latency_sensitive
             )
+            self.define(app_name, choice, **knobs)
         elif choice is Mechanism.TREE:
-            self.tree_define(
-                app_name, recommended_tree_fanout_bits(state_size)
-            )
-        return choice
+            knobs["fanout"] = recommended_tree_fanout_bits(state_size)
+            self.define(app_name, choice, **knobs)
+        return SelectionResult(mechanism=choice, knobs=knobs)
 
     # -------------------------------------------------------- Table 2: Recover
 
@@ -254,6 +409,27 @@ class SR3:
         result = self.manager.run([handle])[0]
         snapshot = merge_shards(registered.plan.available_shards())
         return snapshot, result
+
+    # --------------------------------------------------------- observability
+
+    @property
+    def tracer(self):
+        """The simulation's span tracer (a no-op one unless enabled)."""
+        return self.ctx.sim.tracer
+
+    @property
+    def metrics(self):
+        """The simulation's metrics registry."""
+        return self.ctx.sim.metrics
+
+    def export_trace(self, path: str, chrome: bool = True) -> str:
+        """Write the captured span timeline to ``path`` as JSON.
+
+        ``chrome=True`` emits the Chrome ``trace_event`` format (open it
+        in ``chrome://tracing`` or Perfetto); ``chrome=False`` emits the
+        plain sr3-trace dict. Returns ``path``.
+        """
+        return write_trace(path, [self.ctx.sim.tracer], chrome=chrome)
 
     # ----------------------------------------------------------------- misc
 

@@ -19,7 +19,8 @@ import sys
 from typing import Callable, Dict
 
 from repro.bench import experiments as exp
-from repro.bench.reporting import format_result
+from repro.bench.reporting import format_result, write_trace_artifact
+from repro.obs.tracer import clear_collected, enable_tracing
 
 
 def _fig10(args) -> object:
@@ -75,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--apps", type=int, default=100, help="applications for fig11")
     parser.add_argument("--nodes", type=int, default=1000, help="overlay size for fig11")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="capture span traces of every simulation and write them to "
+        "PATH as Chrome trace_event JSON (open in chrome://tracing)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("chrome", "plain"),
+        default="chrome",
+        help="artifact format for --trace (default: chrome)",
+    )
     return parser
 
 
@@ -85,19 +98,30 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    if args.experiment == "all":
-        for name, fn in EXPERIMENTS.items():
+    if args.trace:
+        clear_collected()
+        enable_tracing(True)
+    try:
+        if args.experiment == "all":
+            for name, fn in EXPERIMENTS.items():
+                print(format_result(fn(args)))
+                print()
+        else:
+            fn = EXPERIMENTS.get(args.experiment)
+            if fn is None:
+                print(
+                    f"unknown experiment {args.experiment!r}; try --list",
+                    file=sys.stderr,
+                )
+                return 2
             print(format_result(fn(args)))
-            print()
-        return 0
-    fn = EXPERIMENTS.get(args.experiment)
-    if fn is None:
-        print(
-            f"unknown experiment {args.experiment!r}; try --list",
-            file=sys.stderr,
-        )
-        return 2
-    print(format_result(fn(args)))
+    finally:
+        if args.trace:
+            path = write_trace_artifact(
+                args.trace, chrome=args.trace_format == "chrome"
+            )
+            enable_tracing(False)
+            print(f"trace written to {path}", file=sys.stderr)
     return 0
 
 

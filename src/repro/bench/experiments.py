@@ -9,7 +9,7 @@ in seconds while ``scripts``-level runs regenerate the full figures.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.bench.harness import (
     ExperimentResult,

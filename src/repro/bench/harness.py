@@ -9,6 +9,7 @@ from typing import Dict, List, Optional
 from repro.dht.node import DhtNode
 from repro.dht.overlay import Overlay
 from repro.errors import BenchmarkError
+from repro.obs.tracer import Tracer, default_tracer
 from repro.recovery.baselines.checkpointing import CheckpointConfig, CheckpointingBaseline
 from repro.recovery.manager import RecoveryManager
 from repro.recovery.model import CostModel, RecoveryContext, run_handles
@@ -70,14 +71,24 @@ def build_scenario(
     placement: str = "leafset",
     cost_model: Optional[CostModel] = None,
     checkpoint_config: Optional[CheckpointConfig] = None,
+    tracer: Optional[Tracer] = None,
+    trace_name: Optional[str] = None,
 ) -> Scenario:
     """Build a deployment matching the paper's testbed shape.
 
     Unconstrained mode models the GbE LAN of Sec. 5.1; passing
     ``uplink_mbit=100`` (and the same downlink) reproduces the "upload
     bandwidth limited to 100 Mb/s per server" configuration of Fig. 8b.
+
+    ``tracer`` attaches an explicit span tracer; ``trace_name`` instead
+    requests one from the process-wide collector (active when tracing was
+    switched on with :func:`repro.obs.enable_tracing`, e.g. by the bench
+    CLI's ``--trace`` flag), so every scenario built during a traced run
+    lands in the same exported artifact.
     """
-    sim = Simulator()
+    if tracer is None and trace_name is not None:
+        tracer = default_tracer(trace_name)
+    sim = Simulator(tracer=tracer)
     network = Network(sim)
     up = mbit_per_s(uplink_mbit) if uplink_mbit else float("inf")
     down = mbit_per_s(downlink_mbit) if downlink_mbit else float("inf")

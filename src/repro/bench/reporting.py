@@ -1,10 +1,12 @@
-"""Rendering experiment results as text and markdown tables."""
+"""Rendering experiment results as text/markdown tables and trace artifacts."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 from repro.bench.harness import ExperimentResult
+from repro.obs.export import write_trace
+from repro.obs.tracer import Tracer, collected_tracers
 
 
 def _format_value(value: object) -> str:
@@ -57,3 +59,19 @@ def render_markdown(result: ExperimentResult) -> str:
         lines.append("")
         lines.append(f"*{result.notes}*")
     return "\n".join(lines)
+
+
+def write_trace_artifact(
+    path: str,
+    tracers: Optional[Sequence[Tracer]] = None,
+    chrome: bool = True,
+) -> str:
+    """Export the span timelines gathered during a bench run.
+
+    Defaults to every tracer registered with the process-wide collector
+    (one per simulation built while tracing was enabled); pass ``tracers``
+    explicitly to export a subset. Returns the written path.
+    """
+    if tracers is None:
+        tracers = collected_tracers()
+    return write_trace(path, tracers, chrome=chrome)

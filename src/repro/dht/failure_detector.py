@@ -94,6 +94,14 @@ class FailureDetector:
                     if missed >= self.config.suspicion_threshold:
                         self._declared.add(key)
                         self.detections.append((watcher.name, member.name, sim.now))
+                        sim.tracer.instant(
+                            f"detected failure of {member.name}",
+                            category="overlay.detection",
+                            watcher=watcher.name,
+                            member=member.name,
+                            missed=missed,
+                        )
+                        sim.metrics.counter("detector.detections").add(1)
                         if self.on_failure is not None:
                             self.on_failure(watcher, member, sim.now)
         sim.schedule(self.config.period, self._round)

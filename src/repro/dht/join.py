@@ -21,7 +21,7 @@ join cost is measurable (O(log N) messages).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.dht.node import DhtNode
 from repro.dht.overlay import Overlay

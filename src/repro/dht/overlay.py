@@ -47,6 +47,10 @@ class Overlay:
         self._by_id: Dict[NodeId, DhtNode] = {}
         self._index_cache = None
         self.repairs_performed = 0
+        # Cached registry handles: routing is on the Scribe/recovery path.
+        self._routes_counter = sim.metrics.counter("overlay.routes")
+        self._hops_histogram = sim.metrics.histogram("overlay.route_hops")
+        self._repairs_counter = sim.metrics.counter("overlay.repairs")
 
     # ------------------------------------------------------------ membership
 
@@ -91,6 +95,9 @@ class Overlay:
         for neighbour in node.leaf_set.members():
             neighbour.leaf_set.rebuild(alive)
             neighbour.routing_table.add(node)
+        self.sim.tracer.instant(
+            f"node joined {node.name}", category="overlay.join", node=node.name
+        )
         return node
 
     def _fresh_id(self) -> NodeId:
@@ -203,10 +210,26 @@ class Overlay:
         for _ in range(self.MAX_ROUTE_HOPS):
             nxt = self._next_hop(current, key)
             if nxt is None:
+                self._trace_route(start, current, path)
                 return current, path
             current = nxt
             path.append(current)
         raise RoutingError(f"routing loop for key {key!r} starting at {start.name}")
+
+    def _trace_route(self, start: DhtNode, dest: DhtNode, path: List[DhtNode]) -> None:
+        hops = len(path) - 1
+        self._routes_counter.add(1)
+        self._hops_histogram.observe(hops)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                f"route {start.name}->{dest.name}",
+                category="overlay.route",
+                start=start.name,
+                dest=dest.name,
+                hops=hops,
+                path=[n.name for n in path],
+            )
 
     def _next_hop(self, current: DhtNode, key: NodeId) -> Optional[DhtNode]:
         # Rule 1: key within leaf-set span -> deliver to the closest leaf.
@@ -253,6 +276,10 @@ class Overlay:
             return
         node.fail()
         self.network.fail_host(node.host)
+        self.sim.tracer.instant(
+            f"node failed {node.name}", category="overlay.failure", node=node.name
+        )
+        self.sim.metrics.counter("overlay.failures").add(1)
         if not repair:
             return
         alive = self.alive_nodes()
@@ -268,6 +295,7 @@ class Overlay:
                 self.network.send_control(holder.host, edge.host, 64)
                 self.network.send_control(edge.host, holder.host, 256)
             self.repairs_performed += 1
+            self._repairs_counter.add(1)
 
     def _leafset_holders(self, node_id: NodeId) -> List[DhtNode]:
         """Nodes that (should) hold ``node_id`` in their leaf set."""

@@ -13,7 +13,7 @@ mechanism on top of Scribe's topic-based publish/subscribe trees").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.dht.node import DhtNode
 from repro.dht.overlay import Overlay
@@ -76,6 +76,7 @@ class ScribeSystem:
             )
         # Walk from the root end back toward the subscriber, attaching each
         # node under its successor on the path.
+        new_forwarders = 0
         for hop_index in range(len(path) - 2, -1, -1):
             hop = path[hop_index]
             parent = path[hop_index + 1]
@@ -83,7 +84,19 @@ class ScribeSystem:
             self.control_messages_sent += 1
             if hop not in topic.tree:
                 topic.tree.add(hop, parent)
+                new_forwarders += 1
         topic.subscribers.add(node)
+        sim = self.overlay.sim
+        sim.metrics.counter("multicast.joins").add(1)
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                f"subscribe {node.name} to {name}",
+                category="multicast.subscribe",
+                topic=name,
+                node=node.name,
+                route_hops=len(path) - 1,
+                new_forwarders=new_forwarders,
+            )
 
     def unsubscribe(self, name: str, node: DhtNode) -> None:
         """Remove a subscriber. Forwarder state is kept (lazy pruning)."""
@@ -109,11 +122,23 @@ class ScribeSystem:
             self.overlay.network.send_control(publisher.host, topic.root.host, payload_bytes)
             self.control_messages_sent += 1
         depths: Dict[DhtNode, int] = {}
+        edges = 0
         for node in topic.tree.bfs():
             depths[node] = topic.tree.depth_of(node)
             for child in topic.tree.children(node):
                 self.overlay.network.send_control(node.host, child.host, payload_bytes)
                 self.control_messages_sent += 1
+                edges += 1
+        sim = self.overlay.sim
+        sim.metrics.counter("multicast.publishes").add(1)
+        if sim.tracer.enabled:
+            sim.tracer.instant(
+                f"publish {name}",
+                category="multicast.publish",
+                topic=name,
+                payload_bytes=payload_bytes,
+                edges=edges,
+            )
         return depths
 
     def repair(self, name: str) -> None:

@@ -1,0 +1,54 @@
+"""Recovery observability: span tracing, metrics, and trace export.
+
+The layer behind every "where does recovery time go" question:
+
+- :mod:`repro.obs.tracer` — hierarchical spans on the simulation clock
+  (``recovery/star`` → ``fetch shard 3 from node-17`` → the network flow),
+  with a zero-cost :class:`NullTracer` default;
+- :mod:`repro.obs.registry` — counters, time series, gauges, and
+  histograms behind one named :class:`MetricsRegistry` per simulation;
+- :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and plain-dict
+  dumps, byte-identical across same-seed runs.
+
+Enable per deployment (``SR3.create(trace=True)``), per scenario
+(``build_scenario(tracer=Tracer())``), or process-wide for the bench CLI
+(:func:`enable_tracing`, then every new :class:`~repro.sim.kernel.Simulator`
+records into a collected tracer).
+"""
+
+from repro.obs.export import chrome_trace, dumps_trace, trace_dict, write_trace
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    clear_collected,
+    collected_tracers,
+    default_tracer,
+    enable_tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "enable_tracing",
+    "tracing_enabled",
+    "default_tracer",
+    "collected_tracers",
+    "clear_collected",
+    "Counter",
+    "TimeSeries",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "trace_dict",
+    "dumps_trace",
+    "write_trace",
+]

@@ -1,0 +1,241 @@
+"""Metric primitives and the per-simulation registry.
+
+One :class:`MetricsRegistry` per simulation unifies the four primitive
+kinds behind name-keyed accessors:
+
+- :class:`Counter` — monotonic totals with labelled sub-counts (bytes
+  moved, routes performed, recoveries completed);
+- :class:`TimeSeries` — append-only ``(time, value)`` points (CPU and
+  memory load curves, Fig. 12);
+- :class:`Gauge` — a current value that moves both ways (pending events,
+  live flows);
+- :class:`Histogram` — a value distribution with percentiles (route hop
+  counts, recovery durations).
+
+``Counter`` and ``TimeSeries`` used to live in :mod:`repro.sim.metrics`;
+that module now re-exports them from here so existing imports keep
+working. Everything is deterministic plain-Python state: ``dump()``
+round-trips to a JSON-friendly dict for experiment artifacts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+__all__ = ["Counter", "TimeSeries", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A named monotonic counter with labelled sub-counts."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self._by_label: Dict[str, float] = defaultdict(float)
+
+    def add(self, amount: float, label: str = "") -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; amount must be >= 0")
+        self.total += amount
+        if label:
+            self._by_label[label] += amount
+
+    def get(self, label: str) -> float:
+        return self._by_label.get(label, 0.0)
+
+    def labels(self) -> Dict[str, float]:
+        return dict(self._by_label)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.total})"
+
+
+class TimeSeries:
+    """Append-only (time, value) series; points must arrive in time order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._points and time < self._points[-1][0]:
+            raise ValueError("time series points must be appended in order")
+        self._points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._points]
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self._points]
+
+    def last(self) -> Tuple[float, float]:
+        if not self._points:
+            raise ValueError(f"time series {self.name} is empty")
+        return self._points[-1]
+
+    def value_at(self, time: float) -> float:
+        """Step-function lookup: last value at or before ``time``."""
+        best = None
+        for t, v in self._points:
+            if t <= time:
+                best = v
+            else:
+                break
+        if best is None:
+            raise ValueError(f"no point at or before t={time} in {self.name}")
+        return best
+
+
+class Gauge:
+    """A named value that can move in both directions."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A named value distribution; keeps every observation.
+
+    Simulation scale (thousands of observations, not billions) makes exact
+    storage cheaper than bucketing and keeps percentiles precise.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name} is empty")
+        return self.total / len(self._values)
+
+    @property
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name} is empty")
+        return min(self._values)
+
+    @property
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError(f"histogram {self.name} is empty")
+        return max(self._values)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100), nearest-rank on sorted values."""
+        if not self._values:
+            raise ValueError(f"histogram {self.name} is empty")
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """All metrics of one simulation, keyed by name.
+
+    Accessors create on first use, so call sites never pre-register; a
+    name is permanently bound to the first kind that claimed it.
+    """
+
+    def __init__(self, name: str = "metrics") -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    def all_series(self) -> Dict[str, TimeSeries]:
+        return dict(self._series)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def dump(self) -> Dict[str, object]:
+        """A deterministic, JSON-friendly snapshot of every metric."""
+        return {
+            "name": self.name,
+            "counters": {
+                n: {"total": c.total, "labels": dict(sorted(c.labels().items()))}
+                for n, c in sorted(self._counters.items())
+            },
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+            "series": {
+                n: s.points for n, s in sorted(self._series.items())
+            },
+        }

@@ -91,11 +91,18 @@ class CheckpointingBaseline:
         overhead = self._chunk_overhead(state_bytes)
         stream_time = state_bytes / min(cfg.storage_rate, owner.host.up_bw)
         duration = cfg.save_coordination + overhead + stream_time
+        save_span = sim.tracer.start(
+            "baseline/checkpoint-save",
+            category="baseline",
+            owner=owner.name,
+            bytes=state_bytes,
+        )
         self.ctx.charge_cpu(owner, started_at, duration, self.ctx.cost_model.transfer_cpu_fraction)
         self.ctx.charge_memory(owner, started_at, duration, state_bytes)
         self.storage.bytes_received += state_bytes
 
         def finish() -> None:
+            save_span.finish()
             handle._resolve(
                 SaveResult(
                     state_name=handle.state_name,
@@ -132,11 +139,28 @@ class CheckpointingBaseline:
         handle = RecoveryHandle(self.name, state_name)
         started_at = sim.now
         progress = {"bytes": 0.0}
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "baseline/checkpoint-recover",
+            category="recovery",
+            state=state_name,
+            replacement=replacement.name,
+            bytes=state_bytes,
+        )
 
         def start_fetch() -> None:
             overhead = self._chunk_overhead(state_bytes)
             fetch_rate = min(cfg.storage_rate, replacement.host.down_bw)
             fetch_time = overhead + state_bytes / fetch_rate
+            tracer.record(
+                "fetch checkpoint",
+                sim.now,
+                sim.now + fetch_time,
+                category="recovery.transfer",
+                parent=root_span,
+                bytes=state_bytes,
+                node=replacement.name,
+            )
             self.ctx.charge_cpu(
                 replacement, sim.now, fetch_time, cost.transfer_cpu_fraction
             )
@@ -149,6 +173,9 @@ class CheckpointingBaseline:
             if replay_bytes <= 0:
                 finish()
                 return
+            replay_span = root_span.child(
+                "replay", category="recovery.replay", bytes=replay_bytes
+            )
             replay_cpu = replay_bytes / cfg.replay_rate
             self.ctx.charge_cpu(replacement, sim.now, replay_cpu, cost.merge_cpu_fraction)
             self.ctx.charge_cpu(
@@ -166,19 +193,28 @@ class CheckpointingBaseline:
             def flow_done(_flow) -> None:
                 done["flow"] = True
                 if done["cpu"]:
+                    replay_span.finish()
                     finish()
 
             def cpu_done() -> None:
                 done["cpu"] = True
                 if done["flow"]:
+                    replay_span.finish()
                     finish()
 
             self.ctx.network.transfer(
-                upstream.host, replacement.host, replay_bytes, on_complete=flow_done
+                upstream.host,
+                replacement.host,
+                replay_bytes,
+                on_complete=flow_done,
+                parent_span=replay_span,
             )
             sim.schedule(replay_cpu, cpu_done)
 
         def finish() -> None:
+            root_span.finish(bytes=progress["bytes"])
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
             # Retroactively account the coordinator session held by both
             # participating nodes for the whole recovery window.
             for node in (upstream, replacement):

@@ -12,7 +12,7 @@ reproduce both numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.dht.node import DhtNode
 from repro.errors import InsufficientShardsError, RecoveryError
@@ -132,17 +132,33 @@ class Fp4sBaseline:
         started_at = sim.now
         fragment_bytes = state_bytes / cfg.num_data
         remaining = {"count": cfg.num_data, "bytes": 0.0}
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "baseline/fp4s-recover",
+            category="recovery",
+            state=state_name,
+            replacement=replacement.name,
+            bytes=state_bytes,
+        )
 
         def launch() -> None:
             for provider in alive[: cfg.num_data]:
+                fetch_span = root_span.child(
+                    f"fetch fragment from {provider.name}",
+                    category="recovery.transfer",
+                    bytes=fragment_bytes,
+                    provider=provider.name,
+                )
                 self.ctx.network.transfer(
                     provider.host,
                     replacement.host,
                     fragment_bytes,
-                    on_complete=one_fetched,
+                    on_complete=lambda flow, s=fetch_span: one_fetched(flow, s),
+                    parent_span=fetch_span,
                 )
 
-        def one_fetched(flow) -> None:
+        def one_fetched(flow, fetch_span) -> None:
+            fetch_span.finish()
             remaining["count"] -= 1
             remaining["bytes"] += flow.size
             if remaining["count"] == 0:
@@ -152,6 +168,15 @@ class Fp4sBaseline:
                 # in recovering 128MB state" (Sec. 2.3).
                 decode_time = state_bytes / cfg.decode_rate
                 rebuild_time = cost.merge_time(state_bytes) + decode_time
+                tracer.record(
+                    "decode+merge",
+                    sim.now,
+                    sim.now + rebuild_time,
+                    category="recovery.merge",
+                    parent=root_span,
+                    bytes=state_bytes,
+                    node=replacement.name,
+                )
                 self.ctx.charge_cpu(
                     replacement, sim.now, rebuild_time, cost.merge_cpu_fraction
                 )
@@ -164,6 +189,9 @@ class Fp4sBaseline:
                 sim.schedule(rebuild_time + cost.install_time(state_bytes), finish)
 
         def finish() -> None:
+            root_span.finish(bytes=remaining["bytes"])
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
             handle._resolve(
                 RecoveryResult(
                     mechanism=self.name,

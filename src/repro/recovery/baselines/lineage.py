@@ -91,9 +91,22 @@ class LineageBaseline:
             cfg.stage_overhead
             + state_bytes * simultaneous_failures / (cfg.recompute_rate * cfg.parallelism)
         )
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "baseline/lineage-recover",
+            category="recovery",
+            state=state_name,
+            lineage_depth=cfg.lineage_depth,
+            bytes=state_bytes,
+        )
 
         def run_stage(stage: int) -> None:
             if stage >= cfg.lineage_depth:
+                root_span.finish()
+                sim.metrics.counter("recovery.completed").add(1, label=self.name)
+                sim.metrics.histogram("recovery.duration").observe(
+                    sim.now - started_at
+                )
                 handle._resolve(
                     RecoveryResult(
                         mechanism=self.name,
@@ -109,6 +122,14 @@ class LineageBaseline:
                     )
                 )
                 return
+            tracer.record(
+                f"lineage stage {stage}",
+                sim.now,
+                sim.now + per_stage,
+                category="recovery.replay",
+                parent=root_span,
+                stage=stage,
+            )
             self.ctx.charge_cpu(
                 workers, sim.now, per_stage, self.ctx.cost_model.merge_cpu_fraction
             )

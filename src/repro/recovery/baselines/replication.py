@@ -80,8 +80,18 @@ class ReplicationBaseline:
         sim = self.ctx.sim
         handle = RecoveryHandle(self.name, state_name)
         started_at = sim.now
+        root_span = sim.tracer.start(
+            "baseline/replication-failover",
+            category="recovery",
+            state=state_name,
+            primary=primary.name,
+            standby=standby.name,
+        )
 
         def finish() -> None:
+            root_span.finish()
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
             handle._resolve(
                 RecoveryResult(
                     mechanism=self.name,

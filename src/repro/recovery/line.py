@@ -42,12 +42,22 @@ class LineRecovery:
         plan: PlacementPlan,
         replacement: DhtNode,
         state_name: Optional[str] = None,
+        parent_span=None,
     ) -> RecoveryHandle:
         sim = ctx.sim
         cost = ctx.cost_model
         name = state_name or plan.placements[0].replica.shard.state_name
         handle = RecoveryHandle(self.name, name)
         started_at = sim.now
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "recovery/line",
+            category="recovery",
+            parent=parent_span,
+            state=name,
+            replacement=replacement.name,
+            path_length=self.path_length,
+        )
 
         # One surviving replica per shard, plus its lookup penalty when the
         # primary replica was lost.
@@ -56,6 +66,7 @@ class LineRecovery:
         for index in plan.shard_indexes():
             providers = plan.providers_for(index)
             if not providers:
+                root_span.finish(error="insufficient_shards", shard=index)
                 handle._fail(
                     InsufficientShardsError(
                         f"{name}: no surviving replica of shard {index}"
@@ -81,6 +92,7 @@ class LineRecovery:
             if len(chain) == self.path_length:
                 break
         if not chain:
+            root_span.finish(error="no_chain_nodes")
             handle._fail(InsufficientShardsError(f"{name}: no chain nodes available"))
             return handle
 
@@ -111,10 +123,22 @@ class LineRecovery:
             if not (progress["stream_done"] and progress["cpu_done"]):
                 return
             install = cost.install_time(total_bytes)
+            tracer.record(
+                "install",
+                sim.now,
+                sim.now + install,
+                category="recovery.install",
+                parent=root_span,
+                bytes=total_bytes,
+                node=replacement.name,
+            )
             ctx.charge_cpu(replacement, sim.now, install, cost.merge_cpu_fraction)
             sim.schedule(install, finish)
 
         def finish() -> None:
+            root_span.finish(bytes=progress["bytes"])
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
             handle._resolve(
                 RecoveryResult(
                     mechanism=self.name,
@@ -134,7 +158,15 @@ class LineRecovery:
             # Network: the accumulated state streams through the chain; the
             # final hop into the replacement carries the full state and is
             # the governing link (chain links carry prefixes concurrently).
+            stream_span = root_span.child(
+                f"stream chain->{replacement.name}",
+                category="recovery.transfer",
+                bytes=total_bytes,
+                provider=chain[-1].name,
+            )
+
             def stream_arrived(_flow) -> None:
+                stream_span.finish()
                 progress["stream_done"] = True
                 maybe_install()
 
@@ -143,6 +175,7 @@ class LineRecovery:
                 replacement.host,
                 total_bytes,
                 on_complete=stream_arrived,
+                parent_span=stream_span,
             )
             # Every chain link i carries the accumulated prefix; account
             # those bytes (the final hop is already metered by the flow).
@@ -167,6 +200,16 @@ class LineRecovery:
                     + cost.merge_time(own_bytes)
                     + cost.line_redundant_factor * cost.merge_time(accumulated)
                 )
+                tracer.record(
+                    f"stage {i} on {node.name}",
+                    sim.now,
+                    sim.now + duration,
+                    category="recovery.merge",
+                    parent=root_span,
+                    bytes=accumulated,
+                    node=node.name,
+                    stage=i,
+                )
                 ctx.charge_cpu(node, sim.now, duration, cost.merge_cpu_fraction)
                 ctx.charge_memory(
                     node,
@@ -179,12 +222,14 @@ class LineRecovery:
             run_stage(0)
 
         def start_prefetch() -> None:
+            detect_span.finish()
             if not prefetches:
                 start_pipeline()
                 return
             remaining = {"count": len(prefetches)}
 
-            def one_done(_flow) -> None:
+            def one_done(span) -> None:
+                span.finish()
                 remaining["count"] -= 1
                 if remaining["count"] == 0:
                     start_pipeline()
@@ -194,12 +239,20 @@ class LineRecovery:
                 progress["bytes"] += placed.replica.size_bytes
 
                 def begin(p=placed, target=item["target"]) -> None:
+                    span = root_span.child(
+                        f"prefetch shard {p.replica.shard.index} to {target.name}",
+                        category="recovery.transfer",
+                        bytes=float(p.replica.size_bytes),
+                        provider=p.node.name,
+                    )
                     ctx.network.transfer(
                         p.node.host, target.host, p.replica.size_bytes,
-                        on_complete=one_done,
+                        on_complete=lambda flow, s=span: one_done(s),
+                        parent_span=span,
                     )
 
                 sim.schedule(item["penalty"], begin)
 
+        detect_span = root_span.child("detect", category="recovery.detect")
         sim.schedule(cost.detection_delay, start_prefetch)
         return handle

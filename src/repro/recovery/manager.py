@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.dht.node import DhtNode
-from repro.errors import RecoveryError, StateError
+from repro.errors import OverlayError, RecoveryError, StateError
 from repro.recovery.line import LineRecovery
 from repro.recovery.model import (
     RecoveryContext,
@@ -147,6 +147,7 @@ class RecoveryManager:
         state_name: str,
         replacement: Optional[DhtNode] = None,
         mechanism: Optional[MechanismImpl] = None,
+        parent_span=None,
     ) -> RecoveryHandle:
         """Start recovering one state onto a replacement node."""
         registered = self._get(state_name)
@@ -157,9 +158,27 @@ class RecoveryManager:
                 raise RecoveryError(
                     f"owner of {state_name!r} is alive; pass a replacement explicitly"
                 )
-            replacement = self.ctx.overlay.replacement_for(registered.owner)
+            try:
+                replacement = self.ctx.overlay.replacement_for(registered.owner)
+            except OverlayError as exc:
+                raise RecoveryError(
+                    f"state {state_name!r}: owner {registered.owner.name} is dead "
+                    f"and no replacement node is available (no alive nodes left "
+                    f"in the overlay); add a spare node or pass a replacement "
+                    f"explicitly"
+                ) from exc
         chosen = mechanism or self.mechanism_for(state_name)
-        return chosen.start(self.ctx, registered.plan, replacement, state_name)
+        self.ctx.sim.tracer.instant(
+            f"recover {state_name} via {chosen.name}",
+            category="recovery.request",
+            state=state_name,
+            mechanism=chosen.name,
+            replacement=replacement.name,
+        )
+        self.ctx.sim.metrics.counter("recovery.started").add(1, label=chosen.name)
+        return chosen.start(
+            self.ctx, registered.plan, replacement, state_name, parent_span=parent_span
+        )
 
     def on_failures(self, failed: Sequence[DhtNode]) -> List[RecoveryHandle]:
         """React to (possibly simultaneous) node failures.

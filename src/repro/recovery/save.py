@@ -12,7 +12,7 @@ overhead) over the network, all executed as simulation events.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.dht.node import DhtNode
@@ -99,8 +99,27 @@ def sr3_save(
     plan = placement.place(owner, replicas, ctx.overlay)
     handle = SaveHandle(state_name)
     started_at = sim.now
+    tracer = sim.tracer
+    root_span = tracer.start(
+        "recovery/save",
+        category="recovery",
+        state=state_name,
+        owner=owner.name,
+        bytes=state_bytes,
+        num_replicas=num_replicas,
+        serial=serial,
+    )
 
     partition_time = cost.partition_time(state_bytes)
+    tracer.record(
+        "partition",
+        started_at,
+        started_at + partition_time,
+        category="recovery.partition",
+        parent=root_span,
+        bytes=state_bytes,
+        node=owner.name,
+    )
     ctx.charge_cpu(owner, started_at, partition_time, cost.merge_cpu_fraction)
     ctx.charge_memory(owner, started_at, partition_time, state_bytes * 0.5)
 
@@ -111,6 +130,9 @@ def sr3_save(
     def finish() -> None:
         if handle.done:
             return
+        root_span.finish(bytes=progress["bytes"], replicas=progress["written"])
+        sim.metrics.counter("save.completed").add(1)
+        sim.metrics.histogram("save.duration").observe(sim.now - started_at)
         handle._resolve(
             SaveResult(
                 state_name=state_name,
@@ -126,6 +148,12 @@ def sr3_save(
     def write_one(placed, then: Optional[Callable[[], None]]) -> None:
         replica: ShardReplica = placed.replica
         target = placed.node
+        write_span = root_span.child(
+            f"write {replica.key} to {target.name}",
+            category="recovery.write",
+            bytes=float(replica.size_bytes),
+            target=target.name,
+        )
 
         def arrived(_flow) -> None:
             target.store_shard(replica.key, replica)
@@ -137,13 +165,20 @@ def sr3_save(
             sim.schedule(cost.replica_write_overhead, ack)
 
         def ack() -> None:
+            write_span.finish()
             progress["acked"] += 1
             if then is not None:
                 then()
             elif progress["acked"] == total:
                 finish()
 
-        ctx.network.transfer(owner.host, target.host, replica.size_bytes, on_complete=arrived)
+        ctx.network.transfer(
+            owner.host,
+            target.host,
+            replica.size_bytes,
+            on_complete=arrived,
+            parent_span=write_span,
+        )
 
     def after_partition() -> None:
         if serial:

@@ -16,7 +16,7 @@ full (possibly unbounded) slowdown.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.dht.node import DhtNode
 from repro.errors import InsufficientShardsError
@@ -72,18 +72,29 @@ class SpeculativeStarRecovery:
         plan: PlacementPlan,
         replacement: DhtNode,
         state_name: Optional[str] = None,
+        parent_span=None,
     ) -> RecoveryHandle:
         sim = ctx.sim
         cost = ctx.cost_model
         name = state_name or plan.placements[0].replica.shard.state_name
         handle = RecoveryHandle(self.name, name)
         started_at = sim.now
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "recovery/star+speculation",
+            category="recovery",
+            parent=parent_span,
+            state=name,
+            replacement=replacement.name,
+            fanout_bits=self.fanout_bits,
+        )
 
         shard_indexes = plan.shard_indexes()
         providers: Dict[int, List[PlacedShard]] = {}
         for index in shard_indexes:
             available = plan.providers_for(index)
             if not available:
+                root_span.finish(error="insufficient_shards", shard=index)
                 handle._fail(
                     InsufficientShardsError(
                         f"{name}: no surviving replica of shard {index}"
@@ -96,7 +107,7 @@ class SpeculativeStarRecovery:
             sum(providers[i][0].replica.size_bytes for i in shard_indexes)
         )
         state = {
-            "arrived": set(),  # type: Set[int]
+            "arrived": set(),  # shard indices already merged
             "bytes": 0.0,
             "speculations": 0,
             "flows": {},  # index -> list of live flows
@@ -110,28 +121,50 @@ class SpeculativeStarRecovery:
             placed = pool[attempt]
             involved.add(placed.node.name)
             size = placed.replica.size_bytes
+            fetch_span = root_span.child(
+                f"fetch shard {index} from {placed.node.name}"
+                + (" (speculative)" if attempt else ""),
+                category="recovery.transfer",
+                bytes=float(size),
+                provider=placed.node.name,
+                attempt=attempt,
+            )
 
             def arrived(flow) -> None:
                 if index in state["arrived"]:
+                    fetch_span.finish(lost_race=True)
                     return  # a racing copy won; ignore
+                fetch_span.finish()
                 state["arrived"].add(index)
                 state["bytes"] += size
-                for other in state["flows"].get(index, []):
+                for other, other_span in state["flows"].get(index, []):
                     if other is not flow and not other.done:
                         ctx.network.abort_flow(other)
+                        other_span.finish(lost_race=True)
                 if len(state["arrived"]) == len(shard_indexes):
                     start_merge()
 
             flow = ctx.network.transfer(
-                placed.node.host, replacement.host, size, on_complete=arrived
+                placed.node.host,
+                replacement.host,
+                size,
+                on_complete=arrived,
+                parent_span=fetch_span,
             )
-            state["flows"].setdefault(index, []).append(flow)
+            state["flows"].setdefault(index, []).append((flow, fetch_span))
 
             def watchdog() -> None:
                 if index in state["arrived"]:
                     return
                 if attempt + 1 < len(pool):
                     state["speculations"] += 1
+                    tracer.instant(
+                        f"speculate shard {index}",
+                        category="recovery.speculation",
+                        shard=index,
+                        attempt=attempt + 1,
+                    )
+                    sim.metrics.counter("recovery.speculations").add(1)
                     fetch(index, attempt + 1)
 
             sim.schedule(self.config.deadline(size), watchdog)
@@ -139,12 +172,33 @@ class SpeculativeStarRecovery:
         def start_merge() -> None:
             merge = cost.merge_time(total_bytes) + cost.shard_setup * len(shard_indexes)
             install = cost.install_time(total_bytes)
+            tracer.record(
+                "merge",
+                sim.now,
+                sim.now + merge,
+                category="recovery.merge",
+                parent=root_span,
+                bytes=total_bytes,
+                node=replacement.name,
+            )
+            tracer.record(
+                "install",
+                sim.now + merge,
+                sim.now + merge + install,
+                category="recovery.install",
+                parent=root_span,
+                bytes=total_bytes,
+                node=replacement.name,
+            )
             ctx.charge_cpu(
                 replacement, sim.now, merge + install, cost.merge_cpu_fraction
             )
             sim.schedule(merge + install, finish)
 
         def finish() -> None:
+            root_span.finish(bytes=state["bytes"], speculations=state["speculations"])
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
             handle._resolve(
                 RecoveryResult(
                     mechanism=self.name,
@@ -161,8 +215,10 @@ class SpeculativeStarRecovery:
             )
 
         def launch() -> None:
+            detect_span.finish()
             for index in shard_indexes:
                 fetch(index, 0)
 
+        detect_span = root_span.child("detect", category="recovery.detect")
         sim.schedule(cost.detection_delay, launch)
         return handle

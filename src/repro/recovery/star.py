@@ -41,6 +41,7 @@ class StarRecovery:
         plan: PlacementPlan,
         replacement: DhtNode,
         state_name: Optional[str] = None,
+        parent_span=None,
     ) -> RecoveryHandle:
         """Begin recovering the state described by ``plan`` onto ``replacement``."""
         sim = ctx.sim
@@ -48,6 +49,15 @@ class StarRecovery:
         name = state_name or self._state_name_of(plan)
         handle = RecoveryHandle(self.name, name)
         started_at = sim.now
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "recovery/star",
+            category="recovery",
+            parent=parent_span,
+            state=name,
+            replacement=replacement.name,
+            fanout_bits=self.fanout_bits,
+        )
 
         # Pick one alive provider per shard, spreading load across distinct
         # providers; detect shards whose primary replica was lost (those pay
@@ -58,6 +68,7 @@ class StarRecovery:
         for index in plan.shard_indexes():
             providers = plan.providers_for(index)
             if not providers:
+                root_span.finish(error="insufficient_shards", shard=index)
                 handle._fail(
                     InsufficientShardsError(
                         f"{name}: no surviving replica of shard {index}"
@@ -71,6 +82,7 @@ class StarRecovery:
             involved.add(chosen.node.name)
             assignments.append(
                 {
+                    "index": index,
                     "placed": chosen,
                     "penalty": cost.lookup_penalty(num_replicas, len(providers)),
                 }
@@ -88,11 +100,22 @@ class StarRecovery:
             size = placed.replica.size_bytes
 
             def begin() -> None:
+                fetch_span = root_span.child(
+                    f"fetch shard {assignment['index']} from {placed.node.name}",
+                    category="recovery.transfer",
+                    bytes=float(size),
+                    provider=placed.node.name,
+                )
                 ctx.network.transfer(
-                    placed.node.host, replacement.host, size, on_complete=arrived
+                    placed.node.host,
+                    replacement.host,
+                    size,
+                    on_complete=lambda flow: arrived(fetch_span),
+                    parent_span=fetch_span,
                 )
 
-            def arrived(_flow) -> None:
+            def arrived(fetch_span) -> None:
+                fetch_span.finish()
                 progress["bytes"] += size
                 progress["arrived"] += 1
                 if progress["arrived"] == len(assignments):
@@ -110,6 +133,24 @@ class StarRecovery:
             # state is installed.
             merge = cost.merge_time(total_bytes) + cost.shard_setup * len(assignments)
             install = cost.install_time(total_bytes)
+            tracer.record(
+                "merge",
+                sim.now,
+                sim.now + merge,
+                category="recovery.merge",
+                parent=root_span,
+                bytes=total_bytes,
+                node=replacement.name,
+            )
+            tracer.record(
+                "install",
+                sim.now + merge,
+                sim.now + merge + install,
+                category="recovery.install",
+                parent=root_span,
+                bytes=total_bytes,
+                node=replacement.name,
+            )
             ctx.charge_cpu(replacement, sim.now, merge + install, cost.merge_cpu_fraction)
             ctx.charge_memory(
                 replacement,
@@ -120,6 +161,9 @@ class StarRecovery:
             sim.schedule(merge + install, finish)
 
         def finish() -> None:
+            root_span.finish(bytes=progress["bytes"])
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
             handle._resolve(
                 RecoveryResult(
                     mechanism=self.name,
@@ -136,9 +180,11 @@ class StarRecovery:
             )
 
         def launch() -> None:
+            detect_span.finish()
             for _ in range(min(self.window, len(assignments))):
                 fetch_next()
 
+        detect_span = root_span.child("detect", category="recovery.detect")
         progress["cpu_free_at"] = started_at + cost.detection_delay
         sim.schedule(cost.detection_delay, launch)
         return handle

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.dht.node import DhtNode
 from repro.errors import InsufficientShardsError
-from repro.multicast.tree import SpanningTree, build_tree, build_tree_with_depth
+from repro.multicast.tree import build_tree, build_tree_with_depth
 from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
 from repro.state.placement import PlacedShard, PlacementPlan
 
@@ -66,12 +66,23 @@ class TreeRecovery:
         plan: PlacementPlan,
         replacement: DhtNode,
         state_name: Optional[str] = None,
+        parent_span=None,
     ) -> RecoveryHandle:
         sim = ctx.sim
         cost = ctx.cost_model
         name = state_name or plan.placements[0].replica.shard.state_name
         handle = RecoveryHandle(self.name, name)
         started_at = sim.now
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "recovery/tree",
+            category="recovery",
+            parent=parent_span,
+            state=name,
+            replacement=replacement.name,
+            fanout_bits=self.fanout_bits,
+            sub_shards=self.sub_shards,
+        )
 
         shard_indexes = plan.shard_indexes()
         trees: List[Dict] = []
@@ -80,6 +91,7 @@ class TreeRecovery:
         for index in shard_indexes:
             providers = plan.providers_for(index)
             if not providers:
+                root_span.finish(error="insufficient_shards", shard=index)
                 handle._fail(
                     InsufficientShardsError(
                         f"{name}: no surviving replica of shard {index}"
@@ -118,6 +130,9 @@ class TreeRecovery:
 
         def finish() -> None:
             tree_height = max(t["tree"].height() for t in trees) if trees else 0
+            root_span.finish(bytes=progress["bytes"], tree_height=tree_height)
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
             handle._resolve(
                 RecoveryResult(
                     mechanism=self.name,
@@ -138,12 +153,30 @@ class TreeRecovery:
 
         def deliver_shard(tree_info: Dict) -> None:
             """Root finished aggregating: ship the shard to the replacement."""
+            tree_info["span"].finish()
+            root: DhtNode = tree_info["tree"].root
+            deliver_span = root_span.child(
+                f"deliver shard {tree_info['index']} from {root.name}",
+                category="recovery.transfer",
+                bytes=tree_info["bytes"],
+                provider=root.name,
+            )
 
             def arrived(_flow) -> None:
+                deliver_span.finish()
                 progress["bytes"] += tree_info["bytes"]
                 install_start = max(sim.now, progress["cpu_free_at"])
                 duration = cost.install_time(tree_info["bytes"])
                 progress["cpu_free_at"] = install_start + duration
+                tracer.record(
+                    f"install shard {tree_info['index']}",
+                    install_start,
+                    install_start + duration,
+                    category="recovery.install",
+                    parent=root_span,
+                    bytes=tree_info["bytes"],
+                    node=replacement.name,
+                )
                 ctx.charge_cpu(
                     replacement, install_start, duration, cost.merge_cpu_fraction
                 )
@@ -154,14 +187,23 @@ class TreeRecovery:
                 if progress["delivered"] == len(trees):
                     finish()
 
-            root: DhtNode = tree_info["tree"].root
             ctx.network.transfer(
-                root.host, replacement.host, tree_info["bytes"], on_complete=arrived
+                root.host,
+                replacement.host,
+                tree_info["bytes"],
+                on_complete=arrived,
+                parent_span=deliver_span,
             )
 
         def run_tree(tree_info: Dict) -> None:
             members: List[DhtNode] = tree_info["members"]
             root = members[0]
+            tree_info["span"] = root_span.child(
+                f"aggregate shard {tree_info['index']}",
+                category="recovery.aggregate",
+                bytes=tree_info["bytes"],
+                members=len(members),
+            )
             if self.scribe is not None:
                 # The prototype's path: one Scribe topic per shard; the
                 # aggregation tree is the route-union tree of the members.
@@ -192,11 +234,27 @@ class TreeRecovery:
                     return
                 parent = tree.parent(node)
                 payload = aggregate[node]
+                hop_span = tree_info["span"].child(
+                    f"sub-shard {node.name}->{parent.name}",
+                    category="recovery.transfer",
+                    bytes=payload,
+                    provider=node.name,
+                )
 
-                def arrived(_flow, n=node, p=parent, size=payload) -> None:
+                def arrived(_flow, n=node, p=parent, size=payload, span=hop_span) -> None:
+                    span.finish()
                     progress["bytes"] += size
                     # Range concatenation at the parent + level handoff.
                     duration = cost.level_setup + size / cost.install_rate
+                    tracer.record(
+                        f"merge at {p.name}",
+                        sim.now,
+                        sim.now + duration,
+                        category="recovery.merge",
+                        parent=tree_info["span"],
+                        bytes=size,
+                        node=p.name,
+                    )
                     ctx.charge_cpu(p, sim.now, duration, cost.merge_cpu_fraction)
                     ctx.charge_memory(
                         p, sim.now, duration, size * cost.buffer_memory_factor
@@ -210,7 +268,13 @@ class TreeRecovery:
 
                     sim.schedule(duration, merged)
 
-                ctx.network.transfer(node.host, parent.host, payload, on_complete=arrived)
+                ctx.network.transfer(
+                    node.host,
+                    parent.host,
+                    payload,
+                    on_complete=arrived,
+                    parent_span=hop_span,
+                )
 
             for leaf in tree.leaves():
                 if leaf is tree.root:
@@ -219,14 +283,24 @@ class TreeRecovery:
                     node_ready(leaf)
 
         def launch() -> None:
+            detect_span.finish()
             for tree_info in trees:
                 build_time = (
                     cost.tree_build_base
                     + cost.tree_build_per_member * len(tree_info["members"])
                     + tree_info["penalty"]
                 )
+                tracer.record(
+                    f"build tree {tree_info['index']}",
+                    sim.now,
+                    sim.now + build_time,
+                    category="recovery.tree_build",
+                    parent=root_span,
+                    members=len(tree_info["members"]),
+                )
                 sim.schedule(build_time, run_tree, tree_info)
 
+        detect_span = root_span.child("detect", category="recovery.detect")
         sim.schedule(cost.detection_delay, launch)
         return handle
 

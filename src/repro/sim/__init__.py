@@ -14,7 +14,7 @@ from repro.sim.kernel import Event, Simulator
 from repro.sim.network import Flow, Host, Network, RemoteStorage
 from repro.sim.resources import ResourceProfile
 from repro.sim.failure import FailureInjector
-from repro.sim.metrics import Counter, TimeSeries
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 
 __all__ = [
     "Event",
@@ -27,4 +27,7 @@ __all__ = [
     "FailureInjector",
     "Counter",
     "TimeSeries",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
 ]

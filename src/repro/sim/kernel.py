@@ -15,6 +15,8 @@ import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import default_tracer
 
 
 class Event:
@@ -44,12 +46,22 @@ class Simulator:
     kernel itself never consults wall-clock time or global randomness.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now = 0.0
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        # Observability: the tracer defaults to the process-wide setting
+        # (a no-op unless tracing was enabled), the metrics registry is
+        # always real — counters are cheap and every layer shares this one.
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self.tracer.bind_clock(lambda: self._now)
+        self.metrics = metrics if metrics is not None else MetricsRegistry("sim")
+        # Opt-in firehose: emit one instant trace event per executed
+        # callback. Off by default even with tracing on — event volume
+        # dwarfs the spans the components themselves emit.
+        self.trace_events = False
 
     @property
     def now(self) -> float:
@@ -92,6 +104,7 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        trace_events = self.trace_events and self.tracer.enabled
         try:
             executed = 0
             while self._queue:
@@ -108,6 +121,11 @@ class Simulator:
                         f"event queue corrupted: event at {event.time} < now {self._now}"
                     )
                 self._now = max(self._now, event.time)
+                if trace_events:
+                    self.tracer.instant(
+                        getattr(event.callback, "__name__", "callback"),
+                        category="sim.event",
+                    )
                 event.callback(*event.args)
                 self._processed += 1
                 executed += 1
@@ -118,6 +136,8 @@ class Simulator:
                     self._now = until
         finally:
             self._running = False
+            self.metrics.gauge("sim.events_processed").set(self._processed)
+            self.metrics.gauge("sim.pending_events").set(self.pending)
         return self._now
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:

@@ -1,98 +1,13 @@
-"""Counters and time series for experiment instrumentation."""
+"""Counters and time series for experiment instrumentation.
+
+The primitives now live in :mod:`repro.obs.registry`, where the unified
+per-simulation :class:`MetricsRegistry` also adds gauges and histograms;
+this module re-exports them so historical ``repro.sim.metrics`` imports
+keep working unchanged.
+"""
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Tuple
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 
-
-class Counter:
-    """A named monotonic counter with labelled sub-counts."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.total = 0.0
-        self._by_label: Dict[str, float] = defaultdict(float)
-
-    def add(self, amount: float, label: str = "") -> None:
-        if amount < 0:
-            raise ValueError("counters are monotonic; amount must be >= 0")
-        self.total += amount
-        if label:
-            self._by_label[label] += amount
-
-    def get(self, label: str) -> float:
-        return self._by_label.get(label, 0.0)
-
-    def labels(self) -> Dict[str, float]:
-        return dict(self._by_label)
-
-    def __repr__(self) -> str:
-        return f"Counter({self.name}={self.total})"
-
-
-class TimeSeries:
-    """Append-only (time, value) series; points must arrive in time order."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._points: List[Tuple[float, float]] = []
-
-    def record(self, time: float, value: float) -> None:
-        if self._points and time < self._points[-1][0]:
-            raise ValueError("time series points must be appended in order")
-        self._points.append((time, value))
-
-    def __len__(self) -> int:
-        return len(self._points)
-
-    @property
-    def points(self) -> List[Tuple[float, float]]:
-        return list(self._points)
-
-    def values(self) -> List[float]:
-        return [v for _, v in self._points]
-
-    def times(self) -> List[float]:
-        return [t for t, _ in self._points]
-
-    def last(self) -> Tuple[float, float]:
-        if not self._points:
-            raise ValueError(f"time series {self.name} is empty")
-        return self._points[-1]
-
-    def value_at(self, time: float) -> float:
-        """Step-function lookup: last value at or before ``time``."""
-        best = None
-        for t, v in self._points:
-            if t <= time:
-                best = v
-            else:
-                break
-        if best is None:
-            raise ValueError(f"no point at or before t={time} in {self.name}")
-        return best
-
-
-class MetricsRegistry:
-    """A bag of counters and series keyed by name, one per experiment run."""
-
-    def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._series: Dict[str, TimeSeries] = {}
-
-    def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
-
-    def series(self, name: str) -> TimeSeries:
-        if name not in self._series:
-            self._series[name] = TimeSeries(name)
-        return self._series[name]
-
-    def counters(self) -> Dict[str, Counter]:
-        return dict(self._counters)
-
-    def all_series(self) -> Dict[str, TimeSeries]:
-        return dict(self._series)
+__all__ = ["Counter", "TimeSeries", "Gauge", "Histogram", "MetricsRegistry"]

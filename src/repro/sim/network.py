@@ -20,6 +20,7 @@ import math
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import NetworkError
+from repro.obs.tracer import NULL_SPAN
 from repro.sim.kernel import Event, Simulator
 
 _EPSILON_BYTES = 1e-6
@@ -76,6 +77,7 @@ class Flow:
         "admitted_at",
         "completed_at",
         "aborted",
+        "span",
         "_last_update",
     )
 
@@ -101,6 +103,7 @@ class Flow:
         self.admitted_at: Optional[float] = None
         self.completed_at: Optional[float] = None
         self.aborted = False
+        self.span = NULL_SPAN
         self._last_update = started_at
 
     @property
@@ -125,6 +128,11 @@ class Network:
         self.total_bytes = 0.0
         self.total_control_bytes = 0.0
         self.completed_flows = 0
+        # Cached registry handles: these sit on per-byte/per-flow paths.
+        self._flow_bytes_counter = sim.metrics.counter("net.flow_bytes")
+        self._control_bytes_counter = sim.metrics.counter("net.control_bytes")
+        self._flows_completed_counter = sim.metrics.counter("net.flows_completed")
+        self._flows_aborted_counter = sim.metrics.counter("net.flows_aborted")
 
     # ------------------------------------------------------------------ hosts
 
@@ -150,6 +158,7 @@ class Network:
         for flow in victims:
             self._remove_flow(flow)
             flow.aborted = True
+            self._trace_abort(flow, reason="host_failed")
             if flow.on_abort is not None:
                 flow.on_abort(flow)
         self._recompute_rates()
@@ -168,18 +177,29 @@ class Network:
         on_complete: Optional[Callable[[Flow], None]] = None,
         on_abort: Optional[Callable[[Flow], None]] = None,
         tag: Optional[str] = None,
+        parent_span=None,
     ) -> Flow:
         """Start a bulk transfer of ``nbytes`` from ``src`` to ``dst``.
 
         The flow is admitted after one propagation latency and then shares
         bandwidth fairly with every concurrent flow. ``on_complete`` fires
-        with the flow once the last byte arrives.
+        with the flow once the last byte arrives. ``parent_span`` nests the
+        flow's trace span under the operation that started it.
         """
         if not src.alive or not dst.alive:
             raise NetworkError(f"transfer between dead hosts: {src.name}->{dst.name}")
         if nbytes < 0:
             raise NetworkError("transfer size must be non-negative")
         flow = Flow(src, dst, nbytes, on_complete, on_abort, tag, self.sim.now)
+        flow.span = self.sim.tracer.start(
+            f"flow {src.name}->{dst.name}",
+            category="net.flow",
+            parent=parent_span,
+            bytes=float(nbytes),
+            src=src.name,
+            dst=dst.name,
+            **({"tag": tag} if tag else {}),
+        )
         propagation = src.latency + dst.latency
         self.sim.schedule(propagation, self._admit, flow)
         return flow
@@ -187,6 +207,7 @@ class Network:
     def _admit(self, flow: Flow) -> None:
         if flow.aborted or not flow.src.alive or not flow.dst.alive:
             flow.aborted = True
+            self._trace_abort(flow, reason="dead_endpoint")
             if flow.on_abort is not None:
                 flow.on_abort(flow)
             return
@@ -209,6 +230,7 @@ class Network:
         if flow in self._flows:
             self._remove_flow(flow)
         flow.aborted = True
+        self._trace_abort(flow, reason="cancelled")
         if flow.on_abort is not None:
             flow.on_abort(flow)
         self._recompute_rates()
@@ -233,6 +255,7 @@ class Network:
         src.control_bytes_sent += nbytes
         dst.control_bytes_received += nbytes
         self.total_control_bytes += nbytes
+        self._control_bytes_counter.add(nbytes)
         if on_delivery is not None:
             if not dst.alive:
                 return
@@ -257,6 +280,7 @@ class Network:
                 flow.src.bytes_sent += moved
                 flow.dst.bytes_received += moved
                 self.total_bytes += moved
+                self._flow_bytes_counter.add(moved)
             flow._last_update = now
 
     def _remove_flow(self, flow: Flow) -> None:
@@ -268,8 +292,14 @@ class Network:
         flow.completed_at = self.sim.now
         flow.remaining = 0.0
         self.completed_flows += 1
+        self._flows_completed_counter.add(1)
+        flow.span.finish()
         if flow.on_complete is not None:
             flow.on_complete(flow)
+
+    def _trace_abort(self, flow: Flow, reason: str) -> None:
+        self._flows_aborted_counter.add(1)
+        flow.span.finish(aborted=True, reason=reason)
 
     def _recompute_rates(self) -> None:
         """Max-min fair allocation by progressive water-filling."""

@@ -9,7 +9,7 @@ the immutable captured image a save round partitions into shards.
 from __future__ import annotations
 
 import sys
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 from repro.errors import StateError
 from repro.state.version import StateVersion, VersionClock

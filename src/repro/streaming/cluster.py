@@ -19,6 +19,7 @@ from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import StreamRuntimeError, TopologyError
+from repro.obs.tracer import NULL_TRACER
 from repro.streaming.backend import SR3StateBackend
 from repro.streaming.component import OutputCollector, Spout, TaskContext
 from repro.streaming.stateful import StatefulBolt
@@ -77,6 +78,11 @@ class LocalCluster:
         if self.capture_outputs:
             for component_id in self._terminal:
                 self.outputs[component_id] = []
+
+    @property
+    def _tracer(self):
+        """The backend simulation's tracer, or a no-op without a backend."""
+        return self.backend.sim.tracer if self.backend is not None else NULL_TRACER
 
     def task(self, component_id: str, index: int = 0):
         """The live instance of one task (for state inspection in tests)."""
@@ -192,6 +198,13 @@ class LocalCluster:
         if key not in self._tasks:
             raise TopologyError(f"unknown task {component_id}[{index}]")
         self._tasks[key] = None
+        self._tracer.instant(
+            f"task killed {component_id}[{index}]",
+            category="streaming.failure",
+            task=f"{component_id}[{index}]",
+        )
+        if self.backend is not None:
+            self.backend.sim.metrics.counter("streaming.tasks_killed").add(1)
 
     def recover_task(
         self, component_id: str, index: int = 0, mechanism=None
@@ -226,9 +239,16 @@ class LocalCluster:
         if isinstance(instance, StatefulBolt) and self.backend is not None:
             task_id = f"{component_id}[{index}]"
             if task_id in self.backend.protected_tasks():
+                span = self._tracer.start(
+                    f"streaming/recover_task {task_id}",
+                    category="streaming.recovery",
+                    task=task_id,
+                )
                 store, _result = self.backend.recover_task(
                     task_id, mechanism=mechanism
                 )
+                span.finish()
+                self.backend.sim.metrics.counter("streaming.tasks_recovered").add(1)
                 instance.attach_state(store)
         self._tasks[key] = instance
 
@@ -257,8 +277,11 @@ class LocalCluster:
         """Save all protected task states and run the sim to completion."""
         if self.backend is None:
             raise StreamRuntimeError("no SR3 backend attached to this cluster")
+        span = self._tracer.start("streaming/checkpoint", category="streaming.save")
         handles = self.backend.save_all(serial=serial)
         self.backend.sim.run_until_idle()
+        span.finish(states=len(handles))
+        self.backend.sim.metrics.counter("streaming.checkpoints").add(1)
         unresolved = [h.state_name for h in handles if not h.done]
         if unresolved:
             raise StreamRuntimeError(f"saves never completed: {unresolved}")

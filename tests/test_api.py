@@ -45,6 +45,48 @@ class TestStateSplit:
             sr3.state_split(store, "s", num_shards=2)
 
 
+class TestSplitResult:
+    def test_carries_replicas_and_name(self, sr3):
+        result = sr3.state_split(
+            {"a": 1, "b": 2}, "s", num_shards=2, num_replicas=3
+        )
+        assert result.num_replicas == 3
+        assert result.state_name == "s"
+
+    def test_behaves_like_shard_list(self, sr3):
+        result = sr3.state_split({"a": 1, "b": 2}, "s", num_shards=2)
+        assert len(result) == 2
+        assert result[0].state_name == "s"
+        assert list(result) == result.shards
+        assert result[-1] is result.shards[-1]
+
+    def test_save_uses_split_replicas(self, sr3):
+        owner = sr3.overlay.nodes[0]
+        pieces = sr3.state_split(
+            {f"k{i}": i for i in range(10)}, "s", num_shards=2, num_replicas=3
+        )
+        result = sr3.save(owner, pieces)
+        assert result.replicas_written == 6
+
+    def test_save_explicit_replicas_override_split(self, sr3):
+        owner = sr3.overlay.nodes[0]
+        pieces = sr3.state_split({"a": 1}, "s", num_shards=1, num_replicas=3)
+        result = sr3.save(owner, pieces, num_replicas=4)
+        assert result.replicas_written == 4
+
+    def test_save_bare_shard_list_uses_default(self, sr3):
+        owner = sr3.overlay.nodes[0]
+        pieces = sr3.state_split(
+            {"a": 1, "b": 2}, "s", num_shards=2, num_replicas=3
+        )
+        result = sr3.save(owner, list(pieces))
+        assert result.replicas_written == 2 * sr3.num_replicas
+
+    def test_no_pending_replicas_side_channel(self, sr3):
+        sr3.state_split({"a": 1}, "s", num_shards=1, num_replicas=5)
+        assert not hasattr(sr3, "_pending_replicas")
+
+
 class TestSaveRecover:
     def test_save_returns_result(self, sr3):
         _, result = protect_dict(sr3)
@@ -120,21 +162,80 @@ class TestDefines:
         assert result.mechanism == "star"
 
 
+class TestDefine:
+    def test_define_by_name_with_paper_knob(self, sr3):
+        impl = sr3.define("app", "star", star_fanout=3)
+        assert impl.fanout_bits == 3
+
+    def test_define_by_enum(self, sr3):
+        impl = sr3.define("app", Mechanism.LINE, length_of_path=4)
+        assert impl.path_length == 4
+
+    def test_define_native_knob_names(self, sr3):
+        impl = sr3.define("app", "tree", fanout_bits=2, branch_depth=3)
+        assert impl.fanout_bits == 2
+        assert impl.branch_depth == 3
+
+    def test_define_accepts_instance(self, sr3):
+        from repro.recovery.tree import TreeRecovery
+
+        built = TreeRecovery(fanout_bits=2)
+        assert sr3.define("app", built) is built
+
+    def test_define_instance_rejects_knobs(self, sr3):
+        from repro.recovery.star import StarRecovery
+
+        with pytest.raises(RecoveryError):
+            sr3.define("app", StarRecovery(), star_fanout=1)
+
+    def test_define_unknown_mechanism(self, sr3):
+        with pytest.raises(RecoveryError):
+            sr3.define("app", "ring")
+
+    def test_define_unknown_knob(self, sr3):
+        with pytest.raises(RecoveryError):
+            sr3.define("app", "star", length_of_path=4)
+
+    def test_define_pins_policy_used_by_recover(self, sr3):
+        owner, _ = protect_dict(sr3)
+        sr3.define("app/state", "star", star_fanout=1)
+        sr3.overlay.fail_node(owner)
+        _, result = sr3.recover("app/state")
+        assert result.mechanism == "star"
+        assert result.detail["fanout_bits"] == 1
+
+
+class TestNoReplacementError:
+    def test_descriptive_error_when_overlay_empty(self):
+        sr3 = SR3.create(num_nodes=8, seed=3)
+        owner, _ = protect_dict(sr3, shards=2)
+        for node in list(sr3.overlay.nodes):
+            sr3.overlay.fail_node(node, repair=False)
+        with pytest.raises(RecoveryError, match="no replacement node is available"):
+            sr3.recover("app/state")
+
+
 class TestSelection:
     def test_small_state_selects_star(self, sr3):
-        assert sr3.selection("a", "latency-sensitive", 8 * MB) is Mechanism.STAR
+        choice = sr3.selection("a", "latency-sensitive", 8 * MB)
+        assert choice == Mechanism.STAR
+        assert choice.mechanism is Mechanism.STAR
+        assert choice.knobs == {"star_fanout": 2}
+        assert choice.value == "star"
 
     def test_large_unconstrained_selects_line(self, sr3):
         choice = sr3.selection("a", "latency-sensitive", 128 * MB, network_bw_mbit=1000)
-        assert choice is Mechanism.LINE
+        assert choice == Mechanism.LINE
+        assert choice.knobs["length_of_path"] >= 1
 
     def test_large_constrained_sensitive_selects_tree(self, sr3):
         choice = sr3.selection("a", "latency-sensitive", 128 * MB, network_bw_mbit=100)
-        assert choice is Mechanism.TREE
+        assert choice == Mechanism.TREE
+        assert "fanout" in choice.knobs
 
     def test_large_constrained_insensitive_selects_line(self, sr3):
         choice = sr3.selection("a", "latency-insensitive", 128 * MB, network_bw_mbit=100)
-        assert choice is Mechanism.LINE
+        assert choice == Mechanism.LINE
 
     def test_selection_pins_policy_for_recover(self, sr3):
         owner, _ = protect_dict(sr3, name="a", shards=4)

@@ -9,7 +9,7 @@ from repro.dht.node import DhtNode
 from repro.dht.routing_table import RoutingTable
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
-from repro.util.ids import ID_BITS, NodeId, random_node_id
+from repro.util.ids import NodeId, random_node_id
 
 
 def make_nodes(count, seed=0):

@@ -34,6 +34,7 @@ PACKAGES = [
     "repro.streaming",
     "repro.workloads",
     "repro.bench",
+    "repro.obs",
 ]
 
 
@@ -47,6 +48,8 @@ class TestImports:
     def test_top_level(self):
         assert repro.__version__
         assert hasattr(repro, "SR3")
+        assert hasattr(repro, "SplitResult")
+        assert hasattr(repro, "SelectionResult")
 
     def test_table2_api_methods_present(self):
         from repro import SR3
@@ -54,13 +57,43 @@ class TestImports:
         for method in (
             "state_split",
             "save",
+            "define",
             "star_define",
             "line_define",
             "tree_define",
             "selection",
             "recover",
+            "export_trace",
         ):
             assert callable(getattr(SR3, method))
+
+    def test_obs_surface(self):
+        from repro import obs
+
+        for name in (
+            "Tracer",
+            "NullTracer",
+            "Span",
+            "MetricsRegistry",
+            "Counter",
+            "Gauge",
+            "Histogram",
+            "TimeSeries",
+            "trace_dict",
+            "chrome_trace",
+            "write_trace",
+            "enable_tracing",
+            "default_tracer",
+            "collected_tracers",
+        ):
+            assert hasattr(obs, name), f"repro.obs.{name} missing"
+
+    def test_sim_metrics_shim_reexports(self):
+        # Back-compat: the old metrics module keeps exporting the types.
+        from repro.obs.registry import Counter as ObsCounter
+        from repro.sim.metrics import Counter as ShimCounter
+
+        assert ShimCounter is ObsCounter
 
 
 class TestErrorHierarchy:

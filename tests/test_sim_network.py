@@ -1,6 +1,5 @@
 """Unit tests for the max-min fair flow-level network."""
 
-import math
 
 import pytest
 
