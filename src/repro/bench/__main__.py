@@ -7,9 +7,12 @@ Usage::
     python -m repro.bench fig10 --mechanism tree --seed 3
     python -m repro.bench fig11 --apps 500 --nodes 5000
     python -m repro.bench all
+    python -m repro.bench --campaign smoke
 
 Prints the regenerated series as a text table (the same rows recorded in
-EXPERIMENTS.md).
+EXPERIMENTS.md). ``--campaign`` instead runs a chaos resilience campaign
+(see :mod:`repro.chaos`) and writes the deterministic resilience report
+JSON next to the bench output.
 """
 
 from __future__ import annotations
@@ -77,6 +80,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--apps", type=int, default=100, help="applications for fig11")
     parser.add_argument("--nodes", type=int, default=1000, help="overlay size for fig11")
     parser.add_argument(
+        "--campaign",
+        metavar="NAME",
+        help="run a chaos resilience campaign ('smoke' or 'full') instead "
+        "of an experiment; writes resilience-<NAME>.json next to the "
+        "bench output (see --campaign-out)",
+    )
+    parser.add_argument(
+        "--campaign-out",
+        metavar="PATH",
+        help="where --campaign writes the resilience report JSON "
+        "(default: resilience-<NAME>.json in the working directory)",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help="capture span traces of every simulation and write them to "
@@ -91,9 +107,29 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_campaign_cli(args) -> int:
+    """Run a chaos campaign and write the resilience report JSON."""
+    from repro.chaos import run_campaign
+    from repro.errors import SimulationError
+
+    try:
+        report = run_campaign(args.campaign)
+    except SimulationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(report.format_matrix())
+    out_path = args.campaign_out or f"resilience-{args.campaign}.json"
+    with open(out_path, "w") as fh:
+        fh.write(report.to_json())
+    print(f"resilience report written to {out_path}", file=sys.stderr)
+    return 1 if report.counts()["failed"] else 0
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.campaign:
+        return run_campaign_cli(args)
     if args.list or args.experiment is None:
         for name in EXPERIMENTS:
             print(name)

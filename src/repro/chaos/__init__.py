@@ -1,0 +1,92 @@
+"""Chaos engineering for SR3: scenario-driven fault campaigns.
+
+Three layers:
+
+- :mod:`repro.chaos.injectors` — composable, seed-deterministic fault
+  generators (crash waves, rack failures, Poisson churn, partitions,
+  bandwidth flapping, stragglers, mid-recovery re-crashes);
+- :mod:`repro.chaos.scenario` — the declarative :class:`Scenario` DSL and
+  the shipped catalog/campaigns;
+- :mod:`repro.chaos.campaign` — the :class:`ChaosEngine` and campaign
+  runner that sweep scenarios across recovery mechanisms, audit every run
+  with :mod:`invariant checkers <repro.chaos.invariants>`, and emit a
+  deterministic resilience report.
+"""
+
+from repro.chaos.campaign import (
+    ChaosEngine,
+    ResilienceReport,
+    RunContext,
+    ScenarioOutcome,
+    make_mechanism,
+    run_campaign,
+    run_scenario,
+    streaming_probe,
+)
+from repro.chaos.injectors import (
+    INJECTOR_KINDS,
+    BandwidthFlap,
+    CrashWave,
+    Injector,
+    MidRecoveryCrash,
+    NetworkPartition,
+    PoissonChurn,
+    RackFailure,
+    Straggler,
+    make_injector,
+)
+from repro.chaos.invariants import (
+    DEFAULT_CHECKERS,
+    FlowAccounting,
+    InvariantChecker,
+    InvariantReport,
+    NoOrphanedReplicas,
+    RecoveryLatency,
+    RingConsistency,
+    StateIntegrity,
+    check_invariants,
+)
+from repro.chaos.scenario import (
+    CAMPAIGNS,
+    KNOWN_MECHANISMS,
+    SCENARIOS,
+    SR3_MECHANISMS,
+    Scenario,
+    campaign_scenarios,
+)
+
+__all__ = [
+    "BandwidthFlap",
+    "CAMPAIGNS",
+    "ChaosEngine",
+    "CrashWave",
+    "DEFAULT_CHECKERS",
+    "FlowAccounting",
+    "INJECTOR_KINDS",
+    "Injector",
+    "InvariantChecker",
+    "InvariantReport",
+    "KNOWN_MECHANISMS",
+    "MidRecoveryCrash",
+    "NetworkPartition",
+    "NoOrphanedReplicas",
+    "PoissonChurn",
+    "RackFailure",
+    "RecoveryLatency",
+    "ResilienceReport",
+    "RingConsistency",
+    "RunContext",
+    "SCENARIOS",
+    "SR3_MECHANISMS",
+    "Scenario",
+    "ScenarioOutcome",
+    "StateIntegrity",
+    "Straggler",
+    "campaign_scenarios",
+    "check_invariants",
+    "make_injector",
+    "make_mechanism",
+    "run_campaign",
+    "run_scenario",
+    "streaming_probe",
+]

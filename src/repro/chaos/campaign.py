@@ -1,0 +1,581 @@
+"""The chaos campaign runner: scenarios × mechanisms → resilience report.
+
+:class:`ChaosEngine` wires a scenario's injectors into a live deployment:
+crashes run overlay repair and start recoveries through the
+:class:`~repro.recovery.manager.RecoveryManager`, ownership hands over to
+the replacement on success, and a recovery whose replacement dies (the
+mechanisms surface a clean ``RecoveryError`` for that) is restarted onto a
+fresh replacement — recovery-during-recovery, end to end.
+
+:func:`run_campaign` sweeps scenarios across mechanisms (and the
+checkpointing baseline), audits every run with the
+:mod:`invariant checkers <repro.chaos.invariants>`, and folds the
+outcomes into a :class:`ResilienceReport` whose JSON form is byte-identical
+for identical seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.harness import Scenario as Deployment
+from repro.bench.harness import build_scenario, saved_state
+from repro.chaos.invariants import (
+    DEFAULT_CHECKERS,
+    InvariantReport,
+    check_invariants,
+)
+from repro.chaos.scenario import (
+    CAMPAIGNS,
+    SR3_MECHANISMS,
+    Scenario,
+    campaign_scenarios,
+)
+from repro.dht.node import DhtNode
+from repro.errors import OverlayError, RecoveryError, ReproError, SimulationError
+from repro.recovery.line import LineRecovery
+from repro.recovery.model import RecoveryHandle, RecoveryResult
+from repro.recovery.speculation import SpeculativeStarRecovery
+from repro.recovery.star import StarRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.sim.failure import FailureInjector, FailureRecord
+
+#: How many times the engine re-runs a recovery whose replacement died
+#: before writing the state off as lost.
+MAX_RECOVERY_RESTARTS = 2
+
+
+def make_mechanism(name: str):
+    """Instantiate the SR3 mechanism behind a campaign mechanism name.
+
+    Returns ``None`` for ``"checkpointing"`` — the baseline recovers
+    through :class:`~repro.recovery.baselines.checkpointing` instead of a
+    mechanism implementation.
+    """
+    factories: Dict[str, Callable[[], object]] = {
+        "star": StarRecovery,
+        "line": LineRecovery,
+        "tree": TreeRecovery,
+        "speculation": SpeculativeStarRecovery,
+    }
+    if name == "checkpointing":
+        return None
+    if name not in factories:
+        raise SimulationError(f"unknown mechanism {name!r}")
+    return factories[name]()
+
+
+class ChaosEngine:
+    """Runs one scenario's fault timeline against one deployment."""
+
+    def __init__(
+        self, deployment: Deployment, scenario: Scenario, mechanism: str
+    ) -> None:
+        self.deployment = deployment
+        self.scenario = scenario
+        self.mechanism = mechanism
+        self.impl = make_mechanism(mechanism)
+        self.sim = deployment.sim
+        self.network = deployment.network
+        self.overlay = deployment.overlay
+        self.manager = deployment.manager
+        # ``Random(str)`` seeds via SHA-512 of the bytes — deterministic
+        # across processes, unlike ``hash()``.
+        self.rng = random.Random(f"{scenario.name}/{mechanism}/{scenario.seed}")
+        self.injector = FailureInjector(self.sim, self.network, rng=self.rng)
+        self.handles: Dict[str, RecoveryHandle] = {}
+        self.results: Dict[str, RecoveryResult] = {}
+        self.errors: List[str] = []
+        self.restarts: Dict[str, int] = {}
+        self.joins = 0
+        self._recovering: set = set()
+        self._hooks: List[Callable[[str, object, DhtNode], None]] = []
+        self._crash_counter = self.sim.metrics.counter("chaos.crashes")
+
+    # ------------------------------------------------------------------ world
+
+    def setup_states(self) -> Dict[str, Dict[int, str]]:
+        """Register, save, and snapshot every protected state.
+
+        Owners are distinct nodes; returns the pre-failure ground truth
+        ``{state: {shard_index: checksum}}`` the integrity checker audits
+        against after the campaign.
+        """
+        checksums: Dict[str, Dict[int, str]] = {}
+        for i, state_name in enumerate(self.scenario.state_names()):
+            owner = self.overlay.nodes[i]
+            if self.mechanism == "checkpointing":
+                registered = self.manager.register(
+                    owner,
+                    self._synthetic_shards(state_name),
+                    self.scenario.num_replicas,
+                )
+                self.deployment.checkpointing.save(owner, registered.state_bytes)
+                self.sim.run_until_idle()
+            else:
+                registered, _result = saved_state(
+                    self.deployment,
+                    state_name,
+                    self.scenario.state_bytes,
+                    num_shards=self.scenario.num_shards,
+                    num_replicas=self.scenario.num_replicas,
+                    owner=owner,
+                )
+            checksums[state_name] = {
+                shard.index: shard.checksum for shard in registered.shards
+            }
+        return checksums
+
+    def _synthetic_shards(self, state_name: str):
+        from repro.state.partitioner import partition_synthetic
+        from repro.state.version import StateVersion
+
+        return partition_synthetic(
+            state_name,
+            int(self.scenario.state_bytes),
+            self.scenario.num_shards,
+            StateVersion(self.sim.now, 1),
+        )
+
+    # ------------------------------------------------------------- injections
+
+    def on_recovery_start(
+        self, callback: Callable[[str, object, DhtNode], None]
+    ) -> None:
+        """Register a hook fired when a recovery starts (mid-recovery faults)."""
+        self._hooks.append(callback)
+
+    def owner_nodes(self) -> List[DhtNode]:
+        """Alive owners of registered states (crashing one starts a recovery)."""
+        seen: Dict[object, DhtNode] = {}
+        for name in sorted(self.manager.states):
+            owner = self.manager.states[name].owner
+            if owner.alive:
+                seen[owner.node_id] = owner
+        return list(seen.values())
+
+    def bystander_nodes(self) -> List[DhtNode]:
+        """Alive nodes that do not currently own a protected state."""
+        owners = {n.node_id for n in self.owner_nodes()}
+        return [n for n in self.overlay.alive_nodes() if n.node_id not in owners]
+
+    def pick(self, pool: Sequence[DhtNode], count: int) -> List[DhtNode]:
+        """Deterministically sample ``count`` nodes from a pool."""
+        ordered = sorted(pool, key=lambda n: n.name)
+        count = min(count, len(ordered))
+        return self.rng.sample(ordered, count) if count else []
+
+    def join_node(self) -> DhtNode:
+        """A fresh node joins the overlay (the churn replacement path)."""
+        node = self.overlay.add_node()
+        self.joins += 1
+        return node
+
+    def crash_node(self, node: DhtNode) -> None:
+        """Kill a node, repair the ring, and recover every state it owned."""
+        if not node.alive:
+            return
+        self.overlay.fail_node(node)
+        self.injector.records.append(
+            FailureRecord(self.sim.now, "crash", node.name)
+        )
+        self._crash_counter.add(1)
+        self._trigger_recoveries()
+
+    # -------------------------------------------------------------- recovery
+
+    def _trigger_recoveries(self) -> None:
+        for name in sorted(self.manager.states):
+            registered = self.manager.states[name]
+            if registered.owner.alive or name in self._recovering:
+                continue
+            self._recovering.add(name)
+            self._start_recovery(name, registered)
+
+    def _start_recovery(self, name: str, registered) -> None:
+        try:
+            replacement = self.overlay.replacement_for(registered.owner)
+        except OverlayError as exc:
+            self.errors.append(f"{name}: no replacement available ({exc})")
+            return
+        try:
+            if self.impl is None:
+                handle = self._checkpointing_recovery(
+                    name, registered, replacement
+                )
+            else:
+                handle = self.manager.recover(
+                    name, replacement=replacement, mechanism=self.impl
+                )
+        except ReproError as exc:
+            self.errors.append(f"{name}: {exc}")
+            return
+        self.handles[name] = handle
+
+        def handover(result: RecoveryResult, reg=registered, node=replacement) -> None:
+            # The replacement becomes the new owner; a later crash of it
+            # re-triggers recovery of this state (chained recoveries).
+            reg.owner = node
+            self._recovering.discard(reg.state_name)
+
+        handle.on_done(handover)
+        for hook in self._hooks:
+            hook(name, registered, replacement)
+
+    def _checkpointing_recovery(
+        self, name: str, registered, replacement: DhtNode
+    ) -> RecoveryHandle:
+        upstream = next(
+            (n for n in registered.owner.leaf_set.members() if n.alive),
+            None,
+        ) or self.overlay.alive_nodes()[0]
+        return self.deployment.checkpointing.recover(
+            upstream, replacement, registered.state_bytes, state_name=name
+        )
+
+    def _restart_failed(self) -> bool:
+        """Re-run recoveries whose replacement died; True if any restarted."""
+        progressed = False
+        for name in sorted(self.handles):
+            handle = self.handles[name]
+            error = handle._error  # engine owns the handle lifecycle
+            if error is None or name in self.results:
+                continue
+            registered = self.manager.states[name]
+            attempts = self.restarts.get(name, 0)
+            replacement_death = (
+                isinstance(error, RecoveryError)
+                and "replacement node" in str(error)
+                and "died during" in str(error)
+            )
+            if replacement_death and attempts < MAX_RECOVERY_RESTARTS:
+                self.restarts[name] = attempts + 1
+                self.sim.tracer.instant(
+                    f"restart recovery {name}",
+                    category="chaos.restart",
+                    state=name,
+                    attempt=attempts + 1,
+                )
+                self.sim.metrics.counter("chaos.recovery_restarts").add(1)
+                del self.handles[name]
+                self._start_recovery(name, registered)
+                progressed = True
+        return progressed
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> None:
+        """Arm the injectors and drive the world to quiescence."""
+        for injection in self.scenario.injections:
+            injection.arm(self)
+        while True:
+            self.sim.run_until_idle()
+            for name in sorted(self.handles):
+                handle = self.handles[name]
+                if handle._result is not None and name not in self.results:
+                    self.results[name] = handle._result
+            if not self._restart_failed():
+                break
+        for name in sorted(self.handles):
+            handle = self.handles[name]
+            if name in self.results:
+                continue
+            if handle._error is not None:
+                self.errors.append(f"{name}: {handle._error}")
+            else:
+                self.errors.append(
+                    f"{name}: recovery never completed via {self.mechanism}"
+                )
+
+    def metric(self, name: str) -> float:
+        return self.sim.metrics.counter(name).total
+
+
+# ------------------------------------------------------------------- outcomes
+
+
+@dataclass
+class RunContext:
+    """Everything the invariant checkers need about one finished run."""
+
+    scenario: Scenario
+    mechanism: str
+    engine: ChaosEngine
+    results: Dict[str, RecoveryResult]
+    errors: List[str]
+    pre_checksums: Dict[str, Dict[int, str]]
+
+
+@dataclass
+class ScenarioOutcome:
+    """One cell of the resilience matrix."""
+
+    scenario: str
+    mechanism: str
+    status: str  # "survived" | "degraded" | "failed"
+    recovered: int = 0
+    expected: int = 0
+    crashes: int = 0
+    joins: int = 0
+    retries: float = 0.0
+    speculations: float = 0.0
+    restarts: int = 0
+    max_recovery_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+    hard_violations: Dict[str, List[str]] = field(default_factory=dict)
+    soft_violations: Dict[str, List[str]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "mechanism": self.mechanism,
+            "status": self.status,
+            "recovered": self.recovered,
+            "expected": self.expected,
+            "crashes": self.crashes,
+            "joins": self.joins,
+            "retries": self.retries,
+            "speculations": self.speculations,
+            "restarts": self.restarts,
+            "max_recovery_s": round(self.max_recovery_s, 6),
+            "errors": list(self.errors),
+            "hard_violations": {k: list(v) for k, v in self.hard_violations.items()},
+            "soft_violations": {k: list(v) for k, v in self.soft_violations.items()},
+        }
+
+
+@dataclass
+class ResilienceReport:
+    """The survived/degraded/failed matrix of one campaign sweep."""
+
+    campaign: str
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+
+    def matrix(self) -> Dict[str, Dict[str, str]]:
+        grid: Dict[str, Dict[str, str]] = {}
+        for outcome in self.outcomes:
+            grid.setdefault(outcome.scenario, {})[outcome.mechanism] = outcome.status
+        return grid
+
+    def counts(self) -> Dict[str, int]:
+        tally = {"survived": 0, "degraded": 0, "failed": 0}
+        for outcome in self.outcomes:
+            tally[outcome.status] += 1
+        return tally
+
+    def to_dict(self) -> Dict[str, object]:
+        ordered = sorted(self.outcomes, key=lambda o: (o.scenario, o.mechanism))
+        return {
+            "campaign": self.campaign,
+            "matrix": self.matrix(),
+            "summary": self.counts(),
+            "outcomes": [o.to_dict() for o in ordered],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON: same seeds -> byte-identical report."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def format_matrix(self) -> str:
+        """A fixed-width text rendering of the resilience matrix."""
+        grid = self.matrix()
+        mechanisms = sorted({m for row in grid.values() for m in row})
+        name_width = max([len("scenario")] + [len(s) for s in grid])
+        widths = {
+            m: max(len(m), *(len(grid[s].get(m, "-")) for s in grid))
+            for m in mechanisms
+        }
+        lines = [
+            "  ".join(
+                ["scenario".ljust(name_width)] + [m.ljust(widths[m]) for m in mechanisms]
+            )
+        ]
+        for scenario in sorted(grid):
+            row = grid[scenario]
+            lines.append(
+                "  ".join(
+                    [scenario.ljust(name_width)]
+                    + [row.get(m, "-").ljust(widths[m]) for m in mechanisms]
+                )
+            )
+        tally = self.counts()
+        lines.append(
+            f"survived={tally['survived']} degraded={tally['degraded']} "
+            f"failed={tally['failed']}"
+        )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- runner
+
+
+def run_scenario(
+    scenario: Scenario,
+    mechanism: str,
+    checkers=DEFAULT_CHECKERS,
+    trace_name: Optional[str] = None,
+) -> ScenarioOutcome:
+    """Run one scenario under one mechanism and classify the outcome."""
+    deployment = build_scenario(
+        num_nodes=scenario.num_nodes,
+        seed=scenario.seed,
+        uplink_mbit=scenario.uplink_mbit or None,
+        downlink_mbit=scenario.uplink_mbit or None,
+        trace_name=trace_name,
+    )
+    engine = ChaosEngine(deployment, scenario, mechanism)
+    pre_checksums = engine.setup_states()
+    engine.run()
+    run = RunContext(
+        scenario=scenario,
+        mechanism=mechanism,
+        engine=engine,
+        results=engine.results,
+        errors=engine.errors,
+        pre_checksums=pre_checksums,
+    )
+    report = check_invariants(run, checkers)
+    return _classify(run, report)
+
+
+def _classify(run: RunContext, invariants: InvariantReport) -> ScenarioOutcome:
+    engine = run.engine
+    retries = engine.metric("recovery.retries")
+    speculations = engine.metric("recovery.speculations")
+    restarts = sum(engine.restarts.values())
+    if run.errors or invariants.hard_violations:
+        status = "failed"
+    elif (
+        invariants.soft_violations
+        or retries > 0
+        or speculations > 0
+        or restarts > 0
+    ):
+        status = "degraded"
+    else:
+        status = "survived"
+    return ScenarioOutcome(
+        scenario=run.scenario.name,
+        mechanism=run.mechanism,
+        status=status,
+        recovered=len(run.results),
+        expected=run.scenario.num_states,
+        crashes=len(engine.injector.crashes()),
+        joins=engine.joins,
+        retries=retries,
+        speculations=speculations,
+        restarts=restarts,
+        max_recovery_s=max(
+            (r.duration for r in run.results.values()), default=0.0
+        ),
+        errors=list(run.errors),
+        hard_violations=dict(invariants.hard_violations),
+        soft_violations=dict(invariants.soft_violations),
+    )
+
+
+def run_campaign(
+    campaign: str = "smoke",
+    scenarios: Optional[Sequence[Scenario]] = None,
+    mechanisms: Optional[Sequence[str]] = None,
+    seed: Optional[int] = None,
+    checkers=DEFAULT_CHECKERS,
+    trace_name: Optional[str] = None,
+) -> ResilienceReport:
+    """Sweep scenarios × mechanisms and fold outcomes into one report.
+
+    ``scenarios`` overrides the named campaign's list; ``mechanisms``
+    overrides each scenario's own sweep; ``seed`` re-seeds every scenario
+    (for replication studies — the default keeps each scenario's own
+    seed, so the shipped campaigns are reproducible as published).
+    """
+    if scenarios is None:
+        scenarios = campaign_scenarios(campaign)
+    report = ResilienceReport(campaign=campaign)
+    for scenario in scenarios:
+        if seed is not None:
+            scenario = scenario.with_seed(seed)
+        sweep = tuple(mechanisms) if mechanisms else scenario.mechanisms
+        for mechanism in sweep:
+            report.outcomes.append(
+                run_scenario(
+                    scenario, mechanism, checkers=checkers, trace_name=trace_name
+                )
+            )
+    return report
+
+
+# ------------------------------------------------------------------ streaming
+
+
+def streaming_probe(seed: int = 0, num_nodes: int = 32) -> ScenarioOutcome:
+    """End-to-end chaos probe through the streaming layer.
+
+    Runs the word-count topology on a :class:`LocalCluster` with the SR3
+    backend, checkpoints, kills every counting task (losing their
+    in-memory stores), recovers them through SR3, and verifies the
+    recovered state checksums byte-match the pre-kill snapshot.
+    """
+    from repro.dht.overlay import Overlay
+    from repro.recovery.manager import RecoveryManager
+    from repro.recovery.model import RecoveryContext
+    from repro.sim.kernel import Simulator
+    from repro.sim.network import Network
+    from repro.streaming.backend import SR3StateBackend
+    from repro.streaming.cluster import LocalCluster
+    from repro.workloads.wordcount import build_wordcount_topology
+
+    sim = Simulator()
+    network = Network(sim)
+    overlay = Overlay(sim, network, rng=random.Random(seed))
+    overlay.build(num_nodes)
+    manager = RecoveryManager(RecoveryContext(sim, network, overlay))
+    backend = SR3StateBackend(manager, num_shards=4, num_replicas=2)
+    cluster = LocalCluster(
+        build_wordcount_topology(num_sentences=400, seed=seed), backend=backend
+    )
+    cluster.protect_stateful_tasks()
+    cluster.run()
+    expected = cluster.state_checksums()
+    cluster.checkpoint()
+    errors: List[str] = []
+    for component_id, index in sorted(cluster.stateful_tasks()):
+        cluster.kill_task(component_id, index)
+        try:
+            cluster.recover_task(component_id, index)
+        except ReproError as exc:
+            errors.append(f"{component_id}[{index}]: {exc}")
+    recovered = cluster.state_checksums()
+    mismatches = [
+        task
+        for task in sorted(expected)
+        if recovered.get(task) != expected[task]
+    ]
+    for task in mismatches:
+        errors.append(f"{task}: recovered state checksum differs from snapshot")
+    return ScenarioOutcome(
+        scenario="streaming-wordcount",
+        mechanism="auto",
+        status="failed" if errors else "survived",
+        recovered=len(expected) - len(mismatches),
+        expected=len(expected),
+        errors=errors,
+    )
+
+
+__all__ = [
+    "CAMPAIGNS",
+    "ChaosEngine",
+    "MAX_RECOVERY_RESTARTS",
+    "ResilienceReport",
+    "RunContext",
+    "ScenarioOutcome",
+    "SR3_MECHANISMS",
+    "make_mechanism",
+    "run_campaign",
+    "run_scenario",
+    "streaming_probe",
+]

@@ -1,0 +1,247 @@
+"""The scenario DSL: declarative, reproducible fault campaigns.
+
+A :class:`Scenario` is a frozen spec — deployment shape, protected states,
+a sequence of :mod:`injectors <repro.chaos.injectors>` on the virtual
+clock, and the mechanisms to sweep. Everything is derived from the
+scenario ``seed``, so the same spec always yields the same fault timeline
+and, downstream, a byte-identical resilience report.
+
+Scenarios round-trip through plain dicts (``to_dict``/``from_dict``) and
+load from TOML files, so campaigns can live next to the code or in config.
+The shipped catalog (``SCENARIOS``) covers the failure modes the paper
+argues SR3 must survive, plus the recovery-during-recovery cases its
+mechanisms historically mishandled; ``CAMPAIGNS`` groups them into the CI
+smoke sweep and the full matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.chaos.injectors import (
+    BandwidthFlap,
+    CrashWave,
+    Injector,
+    MidRecoveryCrash,
+    NetworkPartition,
+    PoissonChurn,
+    RackFailure,
+    Straggler,
+    make_injector,
+)
+from repro.errors import SimulationError
+from repro.util.sizes import MB
+
+#: Mechanism names the campaign runner understands. ``star``/``line``/
+#: ``tree``/``speculation`` are the SR3 mechanisms; ``checkpointing`` is
+#: the remote-storage baseline swept for contrast.
+KNOWN_MECHANISMS = ("star", "line", "tree", "speculation", "checkpointing")
+
+SR3_MECHANISMS = ("star", "line", "tree", "speculation")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative fault campaign against a simulated deployment."""
+
+    name: str
+    description: str = ""
+    num_nodes: int = 32
+    seed: int = 0
+    num_states: int = 2
+    state_mb: float = 16.0
+    num_shards: int = 4
+    num_replicas: int = 3
+    uplink_mbit: float = 0.0  # 0 means unconstrained (GbE LAN mode)
+    latency_bound: float = 120.0
+    mechanisms: Tuple[str, ...] = SR3_MECHANISMS
+    injections: Tuple[Injector, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("scenario needs a name")
+        if self.num_nodes < 4:
+            raise SimulationError("scenario needs at least 4 nodes")
+        if self.num_states < 1:
+            raise SimulationError("scenario needs at least one state")
+        if self.state_mb <= 0:
+            raise SimulationError("state size must be positive")
+        if self.num_shards < 1 or self.num_replicas < 1:
+            raise SimulationError("shards and replicas must be at least 1")
+        if self.latency_bound <= 0:
+            raise SimulationError("latency bound must be positive")
+        if not self.mechanisms:
+            raise SimulationError("scenario must sweep at least one mechanism")
+        for mechanism in self.mechanisms:
+            if mechanism not in KNOWN_MECHANISMS:
+                raise SimulationError(
+                    f"unknown mechanism {mechanism!r}; known: {KNOWN_MECHANISMS}"
+                )
+        # Normalize list inputs (from_dict / hand-written specs) to tuples.
+        object.__setattr__(self, "mechanisms", tuple(self.mechanisms))
+        object.__setattr__(self, "injections", tuple(self.injections))
+
+    @property
+    def state_bytes(self) -> float:
+        return self.state_mb * MB
+
+    def state_names(self) -> List[str]:
+        return [f"{self.name}/state-{i}" for i in range(self.num_states)]
+
+    def with_seed(self, seed: int) -> "Scenario":
+        return replace(self, seed=seed)
+
+    # -------------------------------------------------------------- dict form
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "num_nodes": self.num_nodes,
+            "seed": self.seed,
+            "num_states": self.num_states,
+            "state_mb": self.state_mb,
+            "num_shards": self.num_shards,
+            "num_replicas": self.num_replicas,
+            "uplink_mbit": self.uplink_mbit,
+            "latency_bound": self.latency_bound,
+            "mechanisms": list(self.mechanisms),
+            "injections": [inj.to_dict() for inj in self.injections],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        spec = dict(data)
+        injections = tuple(
+            inj if isinstance(inj, Injector) else make_injector(inj)
+            for inj in spec.pop("injections", ())
+        )
+        mechanisms = tuple(spec.pop("mechanisms", SR3_MECHANISMS))
+        return cls(injections=injections, mechanisms=mechanisms, **spec)
+
+    @classmethod
+    def from_toml(cls, path: str) -> List["Scenario"]:
+        """Load scenario specs from a TOML file's ``[[scenario]]`` tables."""
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - py<3.11
+            raise SimulationError(
+                "TOML scenario files need Python 3.11+ (tomllib)"
+            ) from exc
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+        tables = data.get("scenario", [])
+        if not tables:
+            raise SimulationError(f"{path}: no [[scenario]] tables found")
+        return [cls.from_dict(table) for table in tables]
+
+
+# --------------------------------------------------------------------- catalog
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="crash-wave",
+            description="Two state owners die simultaneously; recoveries "
+            "run in parallel on disjoint provider sets.",
+            num_states=2,
+            injections=(CrashWave(at=5.0, count=2, victims="owners"),),
+            mechanisms=SR3_MECHANISMS + ("checkpointing",),
+        ),
+        Scenario(
+            name="rack-outage",
+            description="A state owner and its nearest ring neighbours "
+            "(replica holders) fail together.",
+            num_states=1,
+            num_replicas=3,
+            injections=(RackFailure(at=5.0, size=3),),
+        ),
+        Scenario(
+            name="churn",
+            description="Poisson node churn with rejoining newcomers while "
+            "one owner crash drives a recovery.",
+            num_states=1,
+            injections=(
+                PoissonChurn(start=2.0, duration=15.0, rate=0.3),
+                CrashWave(at=6.0, count=1, victims="owners"),
+            ),
+        ),
+        Scenario(
+            name="partition-heal",
+            description="A third of the cluster is cut off mid-recovery; "
+            "the cut heals within the retry budget.",
+            num_states=1,
+            injections=(
+                CrashWave(at=3.0, count=1, victims="owners"),
+                NetworkPartition(at=5.0, fraction=0.3, heal_after=8.0),
+            ),
+        ),
+        Scenario(
+            name="bandwidth-flap",
+            description="Random hosts flap to 10% bandwidth while a "
+            "recovery streams state.",
+            num_states=1,
+            uplink_mbit=200.0,  # flapping needs finite links to bite
+            injections=(
+                CrashWave(at=3.0, count=1, victims="owners"),
+                BandwidthFlap(at=4.0, hosts=3, factor=0.1, period=4.0, cycles=2),
+            ),
+        ),
+        Scenario(
+            name="stragglers",
+            description="Slow provider nodes drag transfers; speculation "
+            "should mask them, plain star pays the slowdown.",
+            num_states=1,
+            uplink_mbit=200.0,  # stragglers need finite links to bite
+            latency_bound=60.0,
+            injections=(
+                Straggler(at=0.5, hosts=4, factor=0.2),
+                CrashWave(at=3.0, count=1, victims="owners"),
+            ),
+        ),
+        Scenario(
+            name="mid-recovery-provider-crash",
+            description="A replica holder serving the recovery dies "
+            "mid-transfer; every mechanism must retry from an "
+            "alternate replica.",
+            num_states=1,
+            num_replicas=3,
+            uplink_mbit=100.0,  # finite links keep transfers in flight
+            injections=(
+                CrashWave(at=3.0, count=1, victims="owners"),
+                MidRecoveryCrash(target="provider", delay=1.5, times=1),
+            ),
+        ),
+        Scenario(
+            name="mid-recovery-recrash",
+            description="The replacement node dies mid-recovery; mechanisms "
+            "surface a clean RecoveryError and the campaign engine "
+            "restarts onto a fresh replacement.",
+            num_states=1,
+            num_replicas=3,
+            uplink_mbit=100.0,  # finite links keep transfers in flight
+            injections=(
+                CrashWave(at=3.0, count=1, victims="owners"),
+                MidRecoveryCrash(target="replacement", delay=1.5, times=1),
+            ),
+        ),
+    )
+}
+
+#: Named sweeps. ``smoke`` is the CI campaign: a small ring, three
+#: scenarios, every mechanism — fast enough to run on every push.
+CAMPAIGNS: Dict[str, Tuple[str, ...]] = {
+    "smoke": ("crash-wave", "mid-recovery-provider-crash", "mid-recovery-recrash"),
+    "full": tuple(sorted(SCENARIOS)),
+}
+
+
+def campaign_scenarios(name: str) -> List[Scenario]:
+    """Resolve a campaign name into its scenario list."""
+    if name not in CAMPAIGNS:
+        raise SimulationError(
+            f"unknown campaign {name!r}; known: {sorted(CAMPAIGNS)}"
+        )
+    return [SCENARIOS[s] for s in CAMPAIGNS[name]]

@@ -98,6 +98,7 @@ class Overlay:
         self.sim.tracer.instant(
             f"node joined {node.name}", category="overlay.join", node=node.name
         )
+        self.sim.metrics.counter("overlay.joins").add(1)
         return node
 
     def _fresh_id(self) -> NodeId:

@@ -22,7 +22,13 @@ from typing import Dict, List, Optional
 
 from repro.dht.node import DhtNode
 from repro.errors import InsufficientShardsError
-from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.recovery.model import (
+    RecoveryContext,
+    RecoveryHandle,
+    RecoveryResult,
+    RetryPolicy,
+    replacement_died,
+)
 from repro.state.placement import PlacedShard, PlacementPlan
 
 
@@ -31,10 +37,11 @@ class LineRecovery:
 
     name = "line"
 
-    def __init__(self, path_length: int = 8) -> None:
+    def __init__(self, path_length: int = 8, retry_policy: RetryPolicy = RetryPolicy()) -> None:
         if path_length < 1:
             raise ValueError("path_length must be at least 1")
         self.path_length = path_length
+        self.retry_policy = retry_policy
 
     def start(
         self,
@@ -118,8 +125,27 @@ class LineRecovery:
 
         involved = {replacement.name} | {node.name for node in chain}
         progress = {"bytes": 0.0, "stream_done": False, "cpu_done": False}
+        retries = {"stream": 0, "prefetch": 0}
+        policy = self.retry_policy
+
+        def fail(error: Exception) -> None:
+            if handle.done:
+                return
+            root_span.finish(error=str(error))
+            sim.metrics.counter("recovery.failed").add(1, label=self.name)
+            handle._fail(error)
+
+        def count_retry(kind: str) -> int:
+            retries[kind] += 1
+            sim.metrics.counter("recovery.retries").add(1, label=self.name)
+            tracer.instant(
+                f"retry {kind}", category="recovery.retry", attempt=retries[kind]
+            )
+            return retries[kind]
 
         def maybe_install() -> None:
+            if handle.done:
+                return
             if not (progress["stream_done"] and progress["cpu_done"]):
                 return
             install = cost.install_time(total_bytes)
@@ -136,6 +162,8 @@ class LineRecovery:
             sim.schedule(install, finish)
 
         def finish() -> None:
+            if handle.done:
+                return
             root_span.finish(bytes=progress["bytes"])
             sim.metrics.counter("recovery.completed").add(1, label=self.name)
             sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
@@ -154,29 +182,69 @@ class LineRecovery:
                 )
             )
 
-        def start_pipeline() -> None:
+        def start_stream() -> None:
             # Network: the accumulated state streams through the chain; the
             # final hop into the replacement carries the full state and is
             # the governing link (chain links carry prefixes concurrently).
+            # The sending tail is re-elected from the surviving chain if the
+            # current tail dies mid-stream.
+            if handle.done:
+                return
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
+            alive_chain = [n for n in chain if n.alive]
+            if not alive_chain:
+                fail(
+                    InsufficientShardsError(
+                        f"{name}: every chain node died during line recovery"
+                    )
+                )
+                return
+            tail = alive_chain[-1]
             stream_span = root_span.child(
                 f"stream chain->{replacement.name}",
                 category="recovery.transfer",
                 bytes=total_bytes,
-                provider=chain[-1].name,
+                provider=tail.name,
             )
 
             def stream_arrived(_flow) -> None:
+                if handle.done:
+                    return
                 stream_span.finish()
                 progress["stream_done"] = True
                 maybe_install()
 
+            def stream_aborted(_flow) -> None:
+                stream_span.finish(aborted=True)
+                if handle.done:
+                    return
+                if not replacement.alive:
+                    fail(replacement_died(self.name, name, replacement))
+                    return
+                attempt = count_retry("stream")
+                if attempt > policy.max_retries:
+                    fail(
+                        InsufficientShardsError(
+                            f"{name}: chain stream into {replacement.name} "
+                            f"kept aborting after {policy.max_retries} retries"
+                        )
+                    )
+                    return
+                sim.schedule(policy.delay(attempt - 1), start_stream)
+
             ctx.network.transfer(
-                chain[-1].host,
+                tail.host,
                 replacement.host,
                 total_bytes,
                 on_complete=stream_arrived,
+                on_abort=stream_aborted,
                 parent_span=stream_span,
             )
+
+        def start_pipeline() -> None:
+            start_stream()
             # Every chain link i carries the accumulated prefix; account
             # those bytes (the final hop is already metered by the flow).
             per_stage = total_bytes / len(chain)
@@ -184,13 +252,18 @@ class LineRecovery:
                 progress["bytes"] += per_stage * i
             progress["bytes"] += total_bytes
 
-            # CPU: sequential stage work along the chain.
+            # CPU: sequential stage work along the chain. A stage whose
+            # node died is taken over by the downstream survivor, which
+            # re-merges from the replicas it already received — modelled as
+            # the same stage cost charged to the replacement.
             def run_stage(i: int) -> None:
+                if handle.done:
+                    return
                 if i >= len(chain):
                     progress["cpu_done"] = True
                     maybe_install()
                     return
-                node = chain[i]
+                node = chain[i] if chain[i].alive else replacement
                 own_bytes = float(
                     sum(p.replica.size_bytes for p in stage_shards[i])
                 )
@@ -230,28 +303,116 @@ class LineRecovery:
 
             def one_done(span) -> None:
                 span.finish()
+                if handle.done:
+                    return
                 remaining["count"] -= 1
                 if remaining["count"] == 0:
                     start_pipeline()
 
-            for item in prefetches:
+            def begin(item: Dict) -> None:
+                if handle.done:
+                    return
                 placed: PlacedShard = item["placed"]
-                progress["bytes"] += placed.replica.size_bytes
+                index = placed.replica.shard.index
+                target: DhtNode = item["target"]
+                if not target.alive:
+                    # The chain node that should pre-stage this shard died;
+                    # redirect the prefetch to the first surviving chain node
+                    # (the pipeline re-merges it there).
+                    survivors = [n for n in chain if n.alive]
+                    if not survivors:
+                        fail(
+                            InsufficientShardsError(
+                                f"{name}: every chain node died during "
+                                f"line recovery"
+                            )
+                        )
+                        return
+                    target = item["target"] = survivors[0]
+                if not ctx.network.reachable(placed.node.host, target.host):
+                    # The provider died (or was cut off) before this
+                    # prefetch started; switch to a usable replica now or
+                    # back off and retry (the cut may heal).
+                    providers = plan.providers_for(index)
+                    if not providers:
+                        fail(
+                            InsufficientShardsError(
+                                f"{name}: every replica of shard {index} "
+                                f"was lost during recovery"
+                            )
+                        )
+                        return
+                    usable = [
+                        p
+                        for p in providers
+                        if ctx.network.reachable(p.node.host, target.host)
+                    ]
+                    if usable:
+                        placed = item["placed"] = usable[0]
+                    else:
+                        attempt = count_retry("prefetch")
+                        if attempt > policy.max_retries:
+                            fail(
+                                InsufficientShardsError(
+                                    f"{name}: shard {index} could not be "
+                                    f"pre-staged after {policy.max_retries} "
+                                    f"retries (providers kept dying or "
+                                    f"stayed unreachable)"
+                                )
+                            )
+                            return
+                        sim.schedule(policy.delay(attempt - 1), begin, item)
+                        return
+                span = root_span.child(
+                    f"prefetch shard {index} to {target.name}",
+                    category="recovery.transfer",
+                    bytes=float(placed.replica.size_bytes),
+                    provider=placed.node.name,
+                )
 
-                def begin(p=placed, target=item["target"]) -> None:
-                    span = root_span.child(
-                        f"prefetch shard {p.replica.shard.index} to {target.name}",
-                        category="recovery.transfer",
-                        bytes=float(p.replica.size_bytes),
-                        provider=p.node.name,
-                    )
-                    ctx.network.transfer(
-                        p.node.host, target.host, p.replica.size_bytes,
-                        on_complete=lambda flow, s=span: one_done(s),
-                        parent_span=span,
-                    )
+                def aborted(_flow) -> None:
+                    span.finish(aborted=True)
+                    if handle.done:
+                        return
+                    attempt = count_retry("prefetch")
+                    if attempt > policy.max_retries:
+                        fail(
+                            InsufficientShardsError(
+                                f"{name}: shard {index} could not be "
+                                f"pre-staged after {policy.max_retries} "
+                                f"retries (providers kept dying or stayed "
+                                f"unreachable)"
+                            )
+                        )
+                        return
+                    providers = plan.providers_for(index)
+                    if not providers:
+                        fail(
+                            InsufficientShardsError(
+                                f"{name}: every replica of shard {index} "
+                                f"was lost during recovery"
+                            )
+                        )
+                        return
+                    usable = [
+                        p
+                        for p in providers
+                        if ctx.network.reachable(p.node.host, target.host)
+                    ]
+                    if usable:
+                        item["placed"] = usable[0]
+                    sim.schedule(policy.delay(attempt - 1), begin, item)
 
-                sim.schedule(item["penalty"], begin)
+                ctx.network.transfer(
+                    placed.node.host, target.host, placed.replica.size_bytes,
+                    on_complete=lambda flow, s=span: one_done(s),
+                    on_abort=aborted,
+                    parent_span=span,
+                )
+
+            for item in prefetches:
+                progress["bytes"] += item["placed"].replica.size_bytes
+                sim.schedule(item["penalty"], begin, item)
 
         detect_span = root_span.child("detect", category="recovery.detect")
         sim.schedule(cost.detection_delay, start_prefetch)

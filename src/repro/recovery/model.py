@@ -89,6 +89,45 @@ class CostModel:
         return self.replica_lookup_overhead * lost / num_replicas
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a mechanism reacts when a transfer dies mid-recovery.
+
+    A provider crash (or a partition cutting it off) aborts its flow; the
+    mechanism waits ``backoff * 2**attempt`` seconds, re-queries the
+    placement plan for a surviving replica, and retries — up to
+    ``max_retries`` times per shard before the recovery fails with a
+    descriptive error. The exponential backoff lets recoveries ride out
+    transient partitions that heal within the retry budget.
+    """
+
+    max_retries: int = 5
+    backoff: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff <= 0:
+            raise ValueError("backoff must be positive")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        return self.backoff * (2 ** attempt)
+
+
+def replacement_died(mechanism: str, state_name: str, replacement: DhtNode) -> RecoveryError:
+    """The error every mechanism raises when its replacement node dies.
+
+    Kept uniform (and a plain :class:`RecoveryError`, never an overlay or
+    network internal) so callers can catch it and restart the recovery
+    onto a fresh replacement.
+    """
+    return RecoveryError(
+        f"state {state_name!r}: replacement node {replacement.name} died during "
+        f"{mechanism} recovery; restart the recovery onto a new replacement"
+    )
+
+
 @dataclass
 class RecoveryContext:
     """Everything a mechanism needs to run: sim, network, overlay, costs."""

@@ -20,7 +20,12 @@ from typing import Dict, List, Optional
 
 from repro.dht.node import DhtNode
 from repro.errors import InsufficientShardsError
-from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.recovery.model import (
+    RecoveryContext,
+    RecoveryHandle,
+    RecoveryResult,
+    replacement_died,
+)
 from repro.state.placement import PlacedShard, PlacementPlan
 
 
@@ -111,13 +116,61 @@ class SpeculativeStarRecovery:
             "bytes": 0.0,
             "speculations": 0,
             "flows": {},  # index -> list of live flows
+            "next_attempt": {},  # index -> next untried replica position
+            "in_flight": {},  # index -> live fetch count
         }
         involved = {replacement.name}
 
-        def fetch(index: int, attempt: int) -> None:
+        def fail(error: Exception) -> None:
+            if handle.done:
+                return
+            root_span.finish(error=str(error))
+            sim.metrics.counter("recovery.failed").add(1, label=self.name)
+            handle._fail(error)
+
+        def spawn_next(index: int) -> bool:
+            """Start a fetch from the next untried replica, if one is left.
+
+            The watchdog and the abort path share the ``next_attempt``
+            counter so a straggler timeout racing a provider crash never
+            launches two fetches against the same replica.
+            """
             pool = providers[index]
+            nxt = state["next_attempt"].get(index, 0)
+            if nxt >= len(pool):
+                return False
+            fetch(index, nxt)
+            return True
+
+        def fetch(index: int, attempt: int) -> None:
+            if handle.done:
+                return
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
+            pool = providers[index]
+            # Providers may have died since the pool was snapshot (e.g. a
+            # rack failure killing the owner and replica holders together);
+            # skip ahead to the first replica that can still serve.
+            while attempt < len(pool) and not ctx.network.reachable(
+                pool[attempt].node.host, replacement.host
+            ):
+                attempt += 1
             if attempt >= len(pool):
-                return  # no alternate replica left to try
+                # No replica left to try; fail unless copies are in flight.
+                if (
+                    index not in state["arrived"]
+                    and state["in_flight"].get(index, 0) == 0
+                ):
+                    fail(
+                        InsufficientShardsError(
+                            f"{name}: every replica of shard {index} failed "
+                            f"or became unreachable during recovery"
+                        )
+                    )
+                return
+            state["next_attempt"][index] = attempt + 1
+            state["in_flight"][index] = state["in_flight"].get(index, 0) + 1
             placed = pool[attempt]
             involved.add(placed.node.name)
             size = placed.replica.size_bytes
@@ -131,7 +184,8 @@ class SpeculativeStarRecovery:
             )
 
             def arrived(flow) -> None:
-                if index in state["arrived"]:
+                state["in_flight"][index] -= 1
+                if handle.done or index in state["arrived"]:
                     fetch_span.finish(lost_race=True)
                     return  # a racing copy won; ignore
                 fetch_span.finish()
@@ -144,32 +198,55 @@ class SpeculativeStarRecovery:
                 if len(state["arrived"]) == len(shard_indexes):
                     start_merge()
 
+            def aborted(flow) -> None:
+                state["in_flight"][index] -= 1
+                if handle.done or index in state["arrived"]:
+                    return  # cancelled loser of a won race; nothing to do
+                fetch_span.finish(aborted=True)
+                if not replacement.alive:
+                    fail(replacement_died(self.name, name, replacement))
+                    return
+                # The provider died (or a partition cut it off): treat it
+                # exactly like a straggler and promote the next replica.
+                if spawn_next(index):
+                    return
+                if state["in_flight"].get(index, 0) == 0:
+                    fail(
+                        InsufficientShardsError(
+                            f"{name}: every replica of shard {index} failed "
+                            f"or became unreachable during recovery"
+                        )
+                    )
+
             flow = ctx.network.transfer(
                 placed.node.host,
                 replacement.host,
                 size,
                 on_complete=arrived,
+                on_abort=aborted,
                 parent_span=fetch_span,
             )
             state["flows"].setdefault(index, []).append((flow, fetch_span))
 
             def watchdog() -> None:
-                if index in state["arrived"]:
+                if handle.done or index in state["arrived"]:
                     return
-                if attempt + 1 < len(pool):
+                if state["next_attempt"].get(index, 0) < len(pool):
                     state["speculations"] += 1
                     tracer.instant(
                         f"speculate shard {index}",
                         category="recovery.speculation",
                         shard=index,
-                        attempt=attempt + 1,
+                        attempt=state["next_attempt"].get(index, 0),
                     )
                     sim.metrics.counter("recovery.speculations").add(1)
-                    fetch(index, attempt + 1)
+                    spawn_next(index)
 
             sim.schedule(self.config.deadline(size), watchdog)
 
         def start_merge() -> None:
+            if handle.done:
+                return
             merge = cost.merge_time(total_bytes) + cost.shard_setup * len(shard_indexes)
             install = cost.install_time(total_bytes)
             tracer.record(
@@ -196,6 +273,8 @@ class SpeculativeStarRecovery:
             sim.schedule(merge + install, finish)
 
         def finish() -> None:
+            if handle.done:
+                return
             root_span.finish(bytes=state["bytes"], speculations=state["speculations"])
             sim.metrics.counter("recovery.completed").add(1, label=self.name)
             sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)

@@ -17,7 +17,13 @@ from typing import Dict, List, Optional, Set
 
 from repro.dht.node import DhtNode
 from repro.errors import InsufficientShardsError
-from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.recovery.model import (
+    RecoveryContext,
+    RecoveryHandle,
+    RecoveryResult,
+    RetryPolicy,
+    replacement_died,
+)
 from repro.state.placement import PlacedShard, PlacementPlan
 
 
@@ -26,10 +32,11 @@ class StarRecovery:
 
     name = "star"
 
-    def __init__(self, fanout_bits: int = 2) -> None:
+    def __init__(self, fanout_bits: int = 2, retry_policy: RetryPolicy = RetryPolicy()) -> None:
         if fanout_bits < 0:
             raise ValueError("fanout_bits must be non-negative")
         self.fanout_bits = fanout_bits
+        self.retry_policy = retry_policy
 
     @property
     def window(self) -> int:
@@ -90,40 +97,121 @@ class StarRecovery:
 
         total_bytes = float(sum(a["placed"].replica.size_bytes for a in assignments))
         progress = {"next": 0, "arrived": 0, "bytes": 0.0}
+        policy = self.retry_policy
 
         def fetch_next() -> None:
             if progress["next"] >= len(assignments):
                 return
             assignment = assignments[progress["next"]]
             progress["next"] += 1
+            sim.schedule(assignment["penalty"], start_fetch, assignment)
+
+        def start_fetch(assignment: Dict) -> None:
+            if handle.done:
+                return
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
             placed: PlacedShard = assignment["placed"]
+            if not ctx.network.reachable(placed.node.host, replacement.host):
+                # The chosen provider died (or was cut off) before this
+                # fetch started — e.g. during the detection window; take
+                # the retry path to find an alternate replica.
+                retry(assignment)
+                return
             size = placed.replica.size_bytes
+            involved.add(placed.node.name)
+            fetch_span = root_span.child(
+                f"fetch shard {assignment['index']} from {placed.node.name}",
+                category="recovery.transfer",
+                bytes=float(size),
+                provider=placed.node.name,
+                attempt=assignment.get("retries", 0),
+            )
+            ctx.network.transfer(
+                placed.node.host,
+                replacement.host,
+                size,
+                on_complete=lambda flow: arrived(assignment, fetch_span),
+                on_abort=lambda flow: fetch_failed(assignment, fetch_span),
+                parent_span=fetch_span,
+            )
 
-            def begin() -> None:
-                fetch_span = root_span.child(
-                    f"fetch shard {assignment['index']} from {placed.node.name}",
-                    category="recovery.transfer",
-                    bytes=float(size),
-                    provider=placed.node.name,
+        def arrived(assignment: Dict, fetch_span) -> None:
+            if handle.done:
+                return
+            fetch_span.finish()
+            progress["bytes"] += assignment["placed"].replica.size_bytes
+            progress["arrived"] += 1
+            if progress["arrived"] == len(assignments):
+                start_merge()
+            else:
+                fetch_next()
+
+        def fetch_failed(assignment: Dict, fetch_span) -> None:
+            """The provider died (or a partition cut it off) mid-transfer."""
+            fetch_span.finish(aborted=True)
+            if handle.done:
+                return
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
+            retry(assignment)
+
+        def retry(assignment: Dict) -> None:
+            index = assignment["index"]
+            attempt = assignment.get("retries", 0)
+            if attempt >= policy.max_retries:
+                fail(
+                    InsufficientShardsError(
+                        f"{name}: shard {index} could not be fetched after "
+                        f"{attempt} retries (providers kept dying or stayed "
+                        f"unreachable)"
+                    )
                 )
-                ctx.network.transfer(
-                    placed.node.host,
-                    replacement.host,
-                    size,
-                    on_complete=lambda flow: arrived(fetch_span),
-                    parent_span=fetch_span,
+                return
+            assignment["retries"] = attempt + 1
+            sim.metrics.counter("recovery.retries").add(1, label=self.name)
+            tracer.instant(
+                f"retry shard {index}",
+                category="recovery.retry",
+                shard=index,
+                attempt=attempt + 1,
+            )
+            sim.schedule(policy.delay(attempt), reassign, assignment)
+
+        def reassign(assignment: Dict) -> None:
+            if handle.done:
+                return
+            index = assignment["index"]
+            providers = plan.providers_for(index)
+            if not providers:
+                fail(
+                    InsufficientShardsError(
+                        f"{name}: every replica of shard {index} was lost "
+                        f"during recovery"
+                    )
                 )
+                return
+            usable = [
+                p
+                for p in providers
+                if ctx.network.reachable(p.node.host, replacement.host)
+            ]
+            if not usable:
+                # Providers survive but sit across a partition: back off
+                # again and hope the cut heals within the retry budget.
+                retry(assignment)
+                return
+            assignment["placed"] = usable[0]
+            start_fetch(assignment)
 
-            def arrived(fetch_span) -> None:
-                fetch_span.finish()
-                progress["bytes"] += size
-                progress["arrived"] += 1
-                if progress["arrived"] == len(assignments):
-                    start_merge()
-                else:
-                    fetch_next()
-
-            sim.schedule(assignment["penalty"], begin)
+        def fail(error: Exception) -> None:
+            if handle.done:
+                return
+            root_span.finish(error=str(error))
+            sim.metrics.counter("recovery.failed").add(1, label=self.name)
+            handle._fail(error)
 
         def start_merge() -> None:
             # The centralized reconstruction: the replacing node "needs to
@@ -161,6 +249,8 @@ class StarRecovery:
             sim.schedule(merge + install, finish)
 
         def finish() -> None:
+            if handle.done:
+                return
             root_span.finish(bytes=progress["bytes"])
             sim.metrics.counter("recovery.completed").add(1, label=self.name)
             sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)

@@ -25,7 +25,13 @@ from typing import Dict, List, Optional
 from repro.dht.node import DhtNode
 from repro.errors import InsufficientShardsError
 from repro.multicast.tree import build_tree, build_tree_with_depth
-from repro.recovery.model import RecoveryContext, RecoveryHandle, RecoveryResult
+from repro.recovery.model import (
+    RecoveryContext,
+    RecoveryHandle,
+    RecoveryResult,
+    RetryPolicy,
+    replacement_died,
+)
 from repro.state.placement import PlacedShard, PlacementPlan
 
 
@@ -40,6 +46,7 @@ class TreeRecovery:
         branch_depth: Optional[int] = None,
         sub_shards: int = 8,
         scribe=None,
+        retry_policy: RetryPolicy = RetryPolicy(),
     ) -> None:
         """``scribe`` optionally supplies a
         :class:`~repro.multicast.scribe.ScribeSystem`: each shard then
@@ -59,6 +66,7 @@ class TreeRecovery:
         self.branch_depth = branch_depth
         self.sub_shards = sub_shards
         self.scribe = scribe
+        self.retry_policy = retry_policy
 
     def start(
         self,
@@ -119,6 +127,8 @@ class TreeRecovery:
                         providers[0].replica.num_replicas, len(providers)
                     )
                     + fetch_overhead,
+                    "epoch": 0,
+                    "retries": 0,
                 }
             )
 
@@ -127,8 +137,86 @@ class TreeRecovery:
             "delivered": 0,
             "cpu_free_at": started_at + cost.detection_delay,
         }
+        policy = self.retry_policy
+
+        def fail(error: Exception) -> None:
+            if handle.done:
+                return
+            root_span.finish(error=str(error))
+            sim.metrics.counter("recovery.failed").add(1, label=self.name)
+            handle._fail(error)
+
+        def restart_shard(tree_info: Dict) -> None:
+            """A tree member died (or was cut off) mid-aggregation.
+
+            One node death aborts every flow touching it, so several abort
+            callbacks may fire for the same tree; bumping the epoch here
+            invalidates the stale ones (they check the epoch they captured
+            and no-op). The shard tree is then rebuilt from the surviving
+            replica holders after a backoff.
+            """
+            if handle.done:
+                return
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
+            tree_info["epoch"] += 1
+            tree_info["retries"] += 1
+            attempt = tree_info["retries"]
+            if attempt > policy.max_retries:
+                fail(
+                    InsufficientShardsError(
+                        f"{name}: shard {tree_info['index']} aggregation "
+                        f"kept failing after {policy.max_retries} retries "
+                        f"(tree members kept dying or stayed unreachable)"
+                    )
+                )
+                return
+            sim.metrics.counter("recovery.retries").add(1, label=self.name)
+            tracer.instant(
+                f"retry shard {tree_info['index']}",
+                category="recovery.retry",
+                shard=tree_info["index"],
+                attempt=attempt,
+            )
+            sim.schedule(policy.delay(attempt - 1), rebuild, tree_info)
+
+        def rebuild(tree_info: Dict) -> None:
+            if handle.done:
+                return
+            index = tree_info["index"]
+            providers = plan.providers_for(index)
+            if not providers:
+                fail(
+                    InsufficientShardsError(
+                        f"{name}: every replica of shard {index} was lost "
+                        f"during recovery"
+                    )
+                )
+                return
+            try:
+                members = self._tree_members(ctx, providers, replacement)
+            except InsufficientShardsError as exc:
+                fail(exc)
+                return
+            involved.update(node.name for node in members)
+            tree_info["members"] = members
+            build_time = (
+                cost.tree_build_base + cost.tree_build_per_member * len(members)
+            )
+            tracer.record(
+                f"rebuild tree {index}",
+                sim.now,
+                sim.now + build_time,
+                category="recovery.tree_build",
+                parent=root_span,
+                members=len(members),
+            )
+            sim.schedule(build_time, run_tree, tree_info)
 
         def finish() -> None:
+            if handle.done:
+                return
             tree_height = max(t["tree"].height() for t in trees) if trees else 0
             root_span.finish(bytes=progress["bytes"], tree_height=tree_height)
             sim.metrics.counter("recovery.completed").add(1, label=self.name)
@@ -154,7 +242,13 @@ class TreeRecovery:
         def deliver_shard(tree_info: Dict) -> None:
             """Root finished aggregating: ship the shard to the replacement."""
             tree_info["span"].finish()
+            epoch = tree_info["epoch"]
             root: DhtNode = tree_info["tree"].root
+            if not ctx.network.reachable(root.host, replacement.host):
+                # The root (or the replacement) died while the last merge
+                # was still in flight; rebuild from surviving providers.
+                restart_shard(tree_info)
+                return
             deliver_span = root_span.child(
                 f"deliver shard {tree_info['index']} from {root.name}",
                 category="recovery.transfer",
@@ -163,6 +257,8 @@ class TreeRecovery:
             )
 
             def arrived(_flow) -> None:
+                if handle.done or tree_info["epoch"] != epoch:
+                    return
                 deliver_span.finish()
                 progress["bytes"] += tree_info["bytes"]
                 install_start = max(sim.now, progress["cpu_free_at"])
@@ -183,19 +279,31 @@ class TreeRecovery:
                 sim.schedule_at(progress["cpu_free_at"], installed)
 
             def installed() -> None:
+                if handle.done:
+                    return
                 progress["delivered"] += 1
                 if progress["delivered"] == len(trees):
                     finish()
+
+            def aborted(_flow) -> None:
+                deliver_span.finish(aborted=True)
+                if handle.done or tree_info["epoch"] != epoch:
+                    return
+                restart_shard(tree_info)
 
             ctx.network.transfer(
                 root.host,
                 replacement.host,
                 tree_info["bytes"],
                 on_complete=arrived,
+                on_abort=aborted,
                 parent_span=deliver_span,
             )
 
         def run_tree(tree_info: Dict) -> None:
+            if handle.done:
+                return
+            epoch = tree_info["epoch"]
             members: List[DhtNode] = tree_info["members"]
             root = members[0]
             tree_info["span"] = root_span.child(
@@ -203,11 +311,15 @@ class TreeRecovery:
                 category="recovery.aggregate",
                 bytes=tree_info["bytes"],
                 members=len(members),
+                attempt=tree_info["retries"],
             )
             if self.scribe is not None:
                 # The prototype's path: one Scribe topic per shard; the
                 # aggregation tree is the route-union tree of the members.
+                # Restarted aggregations get a fresh topic per epoch.
                 topic_name = f"sr3/{name}/shard-{tree_info['index']}"
+                if epoch:
+                    topic_name += f"/retry-{epoch}"
                 self.scribe.create_topic(topic_name)
                 for member in members:
                     self.scribe.subscribe(topic_name, member)
@@ -229,11 +341,20 @@ class TreeRecovery:
             }
 
             def node_ready(node: DhtNode) -> None:
+                if handle.done or tree_info["epoch"] != epoch:
+                    return
                 if node is tree.root:
                     deliver_shard(tree_info)
                     return
                 parent = tree.parent(node)
                 payload = aggregate[node]
+                if not ctx.network.reachable(node.host, parent.host):
+                    # A member died (or was cut off) between tree build and
+                    # this hop starting; no flow exists to abort, so take
+                    # the restart path directly.
+                    tree_info["span"].finish(aborted=True)
+                    restart_shard(tree_info)
+                    return
                 hop_span = tree_info["span"].child(
                     f"sub-shard {node.name}->{parent.name}",
                     category="recovery.transfer",
@@ -241,7 +362,16 @@ class TreeRecovery:
                     provider=node.name,
                 )
 
+                def hop_aborted(_flow, span=hop_span) -> None:
+                    span.finish(aborted=True)
+                    if handle.done or tree_info["epoch"] != epoch:
+                        return
+                    tree_info["span"].finish(aborted=True)
+                    restart_shard(tree_info)
+
                 def arrived(_flow, n=node, p=parent, size=payload, span=hop_span) -> None:
+                    if handle.done or tree_info["epoch"] != epoch:
+                        return
                     span.finish()
                     progress["bytes"] += size
                     # Range concatenation at the parent + level handoff.
@@ -261,6 +391,8 @@ class TreeRecovery:
                     )
 
                     def merged() -> None:
+                        if handle.done or tree_info["epoch"] != epoch:
+                            return
                         aggregate[p] += size
                         waiting[p] -= 1
                         if waiting[p] == 0:
@@ -273,6 +405,7 @@ class TreeRecovery:
                     parent.host,
                     payload,
                     on_complete=arrived,
+                    on_abort=hop_aborted,
                     parent_span=hop_span,
                 )
 

@@ -128,11 +128,22 @@ class Network:
         self.total_bytes = 0.0
         self.total_control_bytes = 0.0
         self.completed_flows = 0
+        self.started_flows = 0
+        # A partition is one side of a network cut: hosts whose names are in
+        # the set cannot exchange traffic with hosts outside it (and vice
+        # versa) until the partition heals.
+        self._partition: Optional[frozenset] = None
         # Cached registry handles: these sit on per-byte/per-flow paths.
         self._flow_bytes_counter = sim.metrics.counter("net.flow_bytes")
         self._control_bytes_counter = sim.metrics.counter("net.control_bytes")
+        self._flows_started_counter = sim.metrics.counter("net.flows_started")
         self._flows_completed_counter = sim.metrics.counter("net.flows_completed")
         self._flows_aborted_counter = sim.metrics.counter("net.flows_aborted")
+        self._control_dropped_counter = sim.metrics.counter("net.control_dropped")
+
+    def in_flight_flows(self) -> int:
+        """Number of admitted flows still moving bytes (audit hook)."""
+        return len(self._flows)
 
     # ------------------------------------------------------------------ hosts
 
@@ -167,6 +178,70 @@ class Network:
         """Bring a crashed host back (replacement node taking its place)."""
         host.alive = True
 
+    # ------------------------------------------------------- partitions & bw
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def reachable(self, src: Host, dst: Host) -> bool:
+        """Whether traffic can currently pass between two hosts."""
+        if not src.alive or not dst.alive:
+            return False
+        if self._partition is None:
+            return True
+        return (src.name in self._partition) == (dst.name in self._partition)
+
+    def partition(self, group) -> None:
+        """Cut the network between ``group`` and everything else.
+
+        In-flight flows crossing the cut abort immediately (their TCP
+        connections stall and time out); control messages across the cut
+        are dropped until :meth:`heal_partition`. Partitions replace each
+        other — only one cut is active at a time, which is the classic
+        two-sided split the chaos scenarios model.
+        """
+        names = frozenset(h.name if isinstance(h, Host) else str(h) for h in group)
+        unknown = [n for n in names if n not in self.hosts]
+        if unknown:
+            raise NetworkError(f"cannot partition unknown hosts: {sorted(unknown)}")
+        self._partition = names
+        victims = [f for f in self._flows if not self.reachable(f.src, f.dst)]
+        self._settle_progress()
+        for flow in victims:
+            self._remove_flow(flow)
+            flow.aborted = True
+            self._trace_abort(flow, reason="partitioned")
+            if flow.on_abort is not None:
+                flow.on_abort(flow)
+        self._recompute_rates()
+        self.sim.tracer.instant(
+            "network partitioned", category="net.partition", hosts=len(names)
+        )
+        self.sim.metrics.counter("net.partitions").add(1)
+
+    def heal_partition(self) -> None:
+        """Remove the active partition; healing twice is harmless."""
+        if self._partition is None:
+            return
+        self._partition = None
+        self.sim.tracer.instant("network healed", category="net.partition")
+        self.sim.metrics.counter("net.heals").add(1)
+
+    def set_host_bandwidth(self, host: Host, up_bw: float, down_bw: float) -> None:
+        """Change a host's link capacity mid-run (degradation, flapping).
+
+        Settles every flow's progress at the old rates first, then
+        re-runs the max-min allocation so active transfers immediately
+        see the new capacity.
+        """
+        if up_bw <= 0 or down_bw <= 0:
+            raise NetworkError(f"host {host.name}: bandwidth must be positive")
+        self._settle_progress()
+        host.up_bw = up_bw
+        host.down_bw = down_bw
+        self._recompute_rates()
+
     # ------------------------------------------------------------------ flows
 
     def transfer(
@@ -191,6 +266,8 @@ class Network:
         if nbytes < 0:
             raise NetworkError("transfer size must be non-negative")
         flow = Flow(src, dst, nbytes, on_complete, on_abort, tag, self.sim.now)
+        self.started_flows += 1
+        self._flows_started_counter.add(1)
         flow.span = self.sim.tracer.start(
             f"flow {src.name}->{dst.name}",
             category="net.flow",
@@ -205,9 +282,10 @@ class Network:
         return flow
 
     def _admit(self, flow: Flow) -> None:
-        if flow.aborted or not flow.src.alive or not flow.dst.alive:
+        if flow.aborted or not self.reachable(flow.src, flow.dst):
+            alive = flow.src.alive and flow.dst.alive
             flow.aborted = True
-            self._trace_abort(flow, reason="dead_endpoint")
+            self._trace_abort(flow, reason="partitioned" if alive else "dead_endpoint")
             if flow.on_abort is not None:
                 flow.on_abort(flow)
             return
@@ -256,6 +334,10 @@ class Network:
         dst.control_bytes_received += nbytes
         self.total_control_bytes += nbytes
         self._control_bytes_counter.add(nbytes)
+        if self._partition is not None and not self.reachable(src, dst):
+            # Dropped at the cut: the sender already paid the bytes.
+            self._control_dropped_counter.add(1)
+            return
         if on_delivery is not None:
             if not dst.alive:
                 return

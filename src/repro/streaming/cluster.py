@@ -96,6 +96,26 @@ class LocalCluster:
             key: inst for key, inst in self._tasks.items() if isinstance(inst, StatefulBolt)
         }
 
+    def state_checksums(self) -> Dict[str, str]:
+        """Content digest of every stateful task's live store.
+
+        Ground truth for chaos probes: capture before a failure, compare
+        after recovery — equal digests mean the recovered stores hold
+        byte-identical key/value contents.
+        """
+        import hashlib
+
+        digests: Dict[str, str] = {}
+        for (component_id, index), bolt in sorted(self.stateful_tasks().items()):
+            hasher = hashlib.sha256()
+            for key in sorted(bolt.state.keys()):
+                hasher.update(repr(key).encode())
+                hasher.update(b"=")
+                hasher.update(repr(bolt.state.get(key)).encode())
+                hasher.update(b";")
+            digests[f"{component_id}[{index}]"] = hasher.hexdigest()
+        return digests
+
     # ------------------------------------------------------------- execution
 
     def run(

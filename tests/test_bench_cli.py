@@ -1,5 +1,7 @@
 """Unit tests for the ``python -m repro.bench`` CLI."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, build_parser, main
@@ -47,3 +49,21 @@ class TestMain:
     def test_runs_fig11_scaled(self, capsys):
         assert main(["fig11", "--apps", "10", "--nodes", "200"]) == 0
         assert "mean_shards_per_node" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_smoke_campaign_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "resilience-smoke.json"
+        assert main(["--campaign", "smoke", "--campaign-out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["campaign"] == "smoke"
+        assert data["summary"]["failed"] == 0
+        assert data["outcomes"]
+        captured = capsys.readouterr()
+        assert "scenario" in captured.out
+        assert "survived=" in captured.out
+        assert str(out) in captured.err
+
+    def test_unknown_campaign_errors(self, capsys):
+        assert main(["--campaign", "nope"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err

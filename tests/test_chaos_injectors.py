@@ -1,0 +1,206 @@
+"""Unit tests for the chaos fault injectors."""
+
+import pytest
+
+from repro.chaos import (
+    INJECTOR_KINDS,
+    BandwidthFlap,
+    CrashWave,
+    MidRecoveryCrash,
+    NetworkPartition,
+    PoissonChurn,
+    RackFailure,
+    SCENARIOS,
+    Straggler,
+    make_injector,
+    run_scenario,
+)
+from repro.chaos.campaign import ChaosEngine
+from repro.chaos.scenario import Scenario
+from repro.bench.harness import build_scenario
+from repro.errors import SimulationError
+
+
+def make_engine(scenario=None, mechanism="star", num_nodes=16):
+    scenario = scenario or Scenario(name="t", num_nodes=num_nodes, num_states=1)
+    deployment = build_scenario(
+        num_nodes=scenario.num_nodes,
+        seed=scenario.seed,
+        uplink_mbit=scenario.uplink_mbit or None,
+        downlink_mbit=scenario.uplink_mbit or None,
+    )
+    return ChaosEngine(deployment, scenario, mechanism)
+
+
+class TestRegistry:
+    def test_at_least_six_injector_kinds(self):
+        assert len(INJECTOR_KINDS) >= 6
+
+    def test_round_trip_through_dict(self):
+        for cls in INJECTOR_KINDS.values():
+            original = cls()
+            rebuilt = make_injector(original.to_dict())
+            assert rebuilt == original
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown injector kind"):
+            make_injector({"kind": "meteor_strike"})
+
+
+class TestValidation:
+    def test_crash_wave_needs_victims(self):
+        with pytest.raises(SimulationError):
+            CrashWave(count=0)
+        with pytest.raises(SimulationError):
+            CrashWave(victims="everyone")
+
+    def test_partition_fraction_bounds(self):
+        with pytest.raises(SimulationError):
+            NetworkPartition(fraction=0.0)
+        with pytest.raises(SimulationError):
+            NetworkPartition(fraction=1.5)
+
+    def test_churn_rate_positive(self):
+        with pytest.raises(SimulationError):
+            PoissonChurn(rate=0.0)
+
+    def test_bandwidth_factor_bounds(self):
+        with pytest.raises(SimulationError):
+            BandwidthFlap(factor=0.0)
+        with pytest.raises(SimulationError):
+            Straggler(factor=1.5)
+
+    def test_mid_recovery_target(self):
+        with pytest.raises(SimulationError):
+            MidRecoveryCrash(target="bystander")
+
+
+class TestCrashWave:
+    def test_owner_wave_kills_owners(self):
+        engine = make_engine()
+        engine.setup_states()
+        owners = engine.owner_nodes()
+        CrashWave(at=1.0, count=1, victims="owners").arm(engine)
+        engine.sim.run_until_idle()
+        crashed = {r.target for r in engine.injector.crashes()}
+        assert crashed & {n.name for n in owners}
+
+    def test_records_are_seed_deterministic(self):
+        def timeline():
+            engine = make_engine()
+            engine.setup_states()
+            CrashWave(at=1.0, count=2, victims="any").arm(engine)
+            PoissonChurn(start=0.5, duration=5.0, rate=0.5, rejoin=False).arm(engine)
+            engine.sim.run_until_idle()
+            return [(r.time, r.kind, r.target) for r in engine.injector.records]
+
+        assert timeline() == timeline()
+
+
+class TestRackFailure:
+    def test_kills_owner_and_neighbours(self):
+        engine = make_engine()
+        engine.setup_states()
+        RackFailure(at=1.0, size=3).arm(engine)
+        engine.sim.run_until_idle()
+        assert len(engine.injector.crashes()) == 3
+
+
+class TestPoissonChurn:
+    def test_rejoining_keeps_membership(self):
+        engine = make_engine()
+        engine.setup_states()
+        before = len(engine.overlay.alive_nodes())
+        PoissonChurn(start=0.5, duration=10.0, rate=0.5, rejoin_delay=1.0).arm(engine)
+        engine.sim.run_until_idle()
+        crashes = len(engine.injector.crashes())
+        assert crashes > 0
+        assert engine.joins == crashes
+        assert len(engine.overlay.alive_nodes()) == before
+
+
+class TestNetworkPartition:
+    def test_partitions_then_heals(self):
+        engine = make_engine()
+        engine.setup_states()
+        NetworkPartition(at=1.0, fraction=0.25, heal_after=2.0).arm(engine)
+        engine.sim.run_until_idle()
+        assert not engine.network.partitioned
+        assert engine.sim.metrics.counter("net.partitions").total == 1
+        assert engine.sim.metrics.counter("net.heals").total == 1
+
+
+class TestBandwidthInjectors:
+    def test_flap_restores_bandwidth(self):
+        engine = make_engine(
+            Scenario(name="t", num_nodes=16, num_states=1, uplink_mbit=100.0)
+        )
+        engine.setup_states()
+        before = {n.name: n.host.up_bw for n in engine.overlay.nodes}
+        BandwidthFlap(at=0.5, hosts=2, factor=0.5, period=1.0, cycles=2).arm(engine)
+        engine.sim.run_until_idle()
+        after = {n.name: n.host.up_bw for n in engine.overlay.nodes}
+        assert before == after
+
+    def test_straggler_is_permanent(self):
+        engine = make_engine(
+            Scenario(name="t", num_nodes=16, num_states=1, uplink_mbit=100.0)
+        )
+        engine.setup_states()
+        before = {n.name: n.host.up_bw for n in engine.overlay.nodes}
+        Straggler(at=0.5, hosts=2, factor=0.25).arm(engine)
+        engine.sim.run_until_idle()
+        slowed = [
+            n
+            for n in engine.overlay.nodes
+            if n.host.up_bw < before[n.name]
+        ]
+        assert len(slowed) == 2
+
+
+class TestFailureInjectorSeed:
+    """Regression: victim selection must follow the injector's own seed."""
+
+    @staticmethod
+    def picks(**kwargs):
+        from repro.sim.failure import FailureInjector
+        from repro.sim.kernel import Simulator
+        from repro.sim.network import Network
+
+        sim = Simulator()
+        net = Network(sim)
+        hosts = [net.add_host(f"h{i:02d}") for i in range(12)]
+        injector = FailureInjector(sim, net, **kwargs)
+        return [h.name for h in injector.pick_victims(hosts, 4)]
+
+    def test_same_seed_same_victims(self):
+        assert self.picks(seed=7) == self.picks(seed=7)
+        assert self.picks(seed=7) != self.picks(seed=8)
+
+    def test_default_is_seed_zero(self):
+        assert self.picks() == self.picks(seed=0)
+
+    def test_explicit_rng_wins_over_seed(self):
+        import random
+
+        assert self.picks(seed=3, rng=random.Random(9)) == self.picks(
+            rng=random.Random(9)
+        )
+
+
+class TestMidRecoveryCrash:
+    def test_fires_only_budgeted_times(self):
+        engine = make_engine()
+        engine.setup_states()
+        MidRecoveryCrash(target="replacement", delay=0.5, times=1).arm(engine)
+        # Two recoveries start; only the first takes the re-crash.
+        fired = []
+        engine.on_recovery_start(lambda *a: fired.append(a))
+        CrashWave(at=1.0, count=1, victims="owners").arm(engine)
+        engine.run()
+        assert len(fired) >= 1
+
+    def test_replacement_crash_is_survivable(self):
+        outcome = run_scenario(SCENARIOS["mid-recovery-recrash"], "star")
+        assert outcome.status in ("survived", "degraded")
+        assert outcome.restarts >= 1

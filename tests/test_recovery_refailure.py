@@ -1,0 +1,101 @@
+"""Regression tests: recovery mechanisms under mid-recovery re-failures.
+
+Two fault families, applied to every mechanism:
+
+- **Replacement death**: the node being recovered onto dies while shards
+  are still in flight. Each mechanism must fail its handle with the
+  uniform, plain :class:`RecoveryError` restart hint — never a raw
+  ``NetworkError``/``OverlayError`` internal — so the campaign engine can
+  restart the recovery onto a fresh replacement.
+- **Provider death**: a replica holder serving the recovery dies
+  mid-transfer. The mechanism must retry from an alternate replica and
+  complete, or fail with a descriptive shard-loss error once the replica
+  set is exhausted.
+"""
+
+import pytest
+
+from repro.errors import InsufficientShardsError, RecoveryError
+from repro.recovery.line import LineRecovery
+from repro.recovery.speculation import SpeculativeStarRecovery
+from repro.recovery.star import StarRecovery
+from repro.recovery.tree import TreeRecovery
+from repro.util.sizes import MB
+
+MECHANISMS = {
+    "star": StarRecovery,
+    "line": LineRecovery,
+    "tree": TreeRecovery,
+    "speculation": SpeculativeStarRecovery,
+}
+
+# With 100 Mbit links and 32 MB of state, star/line/speculation transfers
+# run from ~1.0s (post-detection) for several seconds; tree transfers only
+# start after its ~2.4s build window. These crash times land mid-flight.
+CRASH_AT = {"star": 2.0, "line": 2.0, "speculation": 2.0, "tree": 4.0}
+
+
+def build_world(world_factory):
+    w = world_factory(num_nodes=32, link_mbit=100)
+    registered, _ = w.save_synthetic(size=32 * MB, shards=4, replicas=3)
+    return w, registered
+
+
+@pytest.mark.parametrize("name", sorted(MECHANISMS))
+class TestReplacementDeath:
+    def test_surfaces_clean_recovery_error(self, world_factory, name):
+        w, registered = build_world(world_factory)
+        replacement = w.fail_owner()
+        handle = w.manager.recover(
+            "app/state", replacement=replacement, mechanism=MECHANISMS[name]()
+        )
+        w.sim.schedule(CRASH_AT[name], w.overlay.fail_node, replacement)
+        w.sim.run_until_idle()
+        assert handle.done
+        with pytest.raises(
+            RecoveryError, match="replacement node .* died during"
+        ):
+            handle.result
+        # The uniform restart hint, not an overlay/network internal.
+        assert type(handle._error) is RecoveryError
+        assert "restart the recovery onto a new replacement" in str(handle._error)
+
+
+@pytest.mark.parametrize("name", sorted(MECHANISMS))
+class TestProviderDeath:
+    def test_retry_completes_the_recovery(self, world_factory, name):
+        w, registered = build_world(world_factory)
+        replacement = w.fail_owner()
+        handle = w.manager.recover(
+            "app/state", replacement=replacement, mechanism=MECHANISMS[name]()
+        )
+        provider = next(
+            p.node
+            for p in registered.plan.providers_for(0)
+            if p.node.node_id != replacement.node_id
+        )
+        w.sim.schedule(CRASH_AT[name], w.overlay.fail_node, provider)
+        w.sim.run_until_idle()
+        result = handle.result  # raises (descriptively) if the retry failed
+        assert result.state_name == "app/state"
+        assert result.shards_recovered == 4
+
+
+class TestReplicaExhaustion:
+    def test_losing_every_replica_fails_descriptively(self, world_factory):
+        w, registered = build_world(world_factory)
+        replacement = w.fail_owner()
+        handle = w.manager.recover(
+            "app/state", replacement=replacement, mechanism=StarRecovery()
+        )
+        victims = {
+            p.node.node_id: p.node
+            for p in registered.plan.providers_for(0)
+            if p.node.node_id != replacement.node_id
+        }
+        for node in victims.values():
+            w.sim.schedule(2.0, w.overlay.fail_node, node)
+        w.sim.run_until_idle()
+        assert handle.done
+        with pytest.raises(InsufficientShardsError, match="shard 0"):
+            handle.result
