@@ -23,6 +23,11 @@ from typing import Callable, Dict
 
 from repro.bench import experiments as exp
 from repro.bench.reporting import format_result, write_trace_artifact
+from repro.obs.registry import (
+    clear_collected_registries,
+    collected_registries,
+    enable_metrics_collection,
+)
 from repro.obs.tracer import clear_collected, enable_tracing
 
 
@@ -104,6 +109,49 @@ def build_parser() -> argparse.ArgumentParser:
         default="chrome",
         help="artifact format for --trace (default: chrome)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="profile every recovery (critical path + blame attribution) "
+        "and write the report JSON to PATH; implies tracing",
+    )
+    parser.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        help="write collapsed-stack flamegraph lines (flamegraph.pl / "
+        "speedscope import format) to PATH; implies tracing",
+    )
+    parser.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="write a speedscope JSON document to PATH "
+        "(open at https://www.speedscope.app); implies tracing",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="dump every simulation's metrics registry (counters, series, "
+        "histograms) to PATH as deterministic JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="perf-regression gate: compare each recovery's makespan "
+        "against the baseline at PATH (written on first run); implies "
+        "tracing; exits 3 on regression",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from this run instead of comparing",
+    )
+    parser.add_argument(
+        "--baseline-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative slowdown tolerated by --baseline (default: 0.20)",
+    )
     return parser
 
 
@@ -125,6 +173,68 @@ def run_campaign_cli(args) -> int:
     return 1 if report.counts()["failed"] else 0
 
 
+def write_profile_artifacts(args) -> int:
+    """Write profile/flamegraph/baseline artifacts after a traced run.
+
+    Returns the process exit code: 0 unless the baseline gate tripped (3).
+    """
+    import json
+
+    from repro.bench.baseline import (
+        DEFAULT_TOLERANCE,
+        baseline_metrics,
+        compare_to_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.obs.flamegraph import write_flamegraph, write_speedscope
+    from repro.obs.profile import build_report
+
+    exit_code = 0
+    report = None
+    if args.profile or args.baseline:
+        report = build_report()
+    if args.profile:
+        with open(args.profile, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"profile written to {args.profile}", file=sys.stderr)
+    if args.flamegraph:
+        write_flamegraph(args.flamegraph)
+        print(f"flamegraph written to {args.flamegraph}", file=sys.stderr)
+    if args.speedscope:
+        write_speedscope(args.speedscope)
+        print(f"speedscope document written to {args.speedscope}", file=sys.stderr)
+    if args.baseline:
+        import os
+
+        measured = baseline_metrics(report.profiles)
+        if args.update_baseline or not os.path.exists(args.baseline):
+            write_baseline(args.baseline, measured)
+            print(f"baseline written to {args.baseline}", file=sys.stderr)
+        else:
+            tolerance = (
+                args.baseline_tolerance
+                if args.baseline_tolerance is not None
+                else DEFAULT_TOLERANCE
+            )
+            comparison = compare_to_baseline(
+                load_baseline(args.baseline), measured, tolerance
+            )
+            print(comparison.summary(), file=sys.stderr)
+            if not comparison.ok:
+                exit_code = 3
+    if args.metrics_out:
+        payload = {
+            "format": "sr3-metrics-1",
+            "registries": [r.dump() for r in collected_registries()],
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return exit_code
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -134,9 +244,16 @@ def main(argv=None) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    if args.trace:
+    tracing = bool(
+        args.trace or args.profile or args.flamegraph or args.speedscope or args.baseline
+    )
+    if tracing:
         clear_collected()
         enable_tracing(True)
+    if args.metrics_out:
+        clear_collected_registries()
+        enable_metrics_collection(True)
+    exit_code = 0
     try:
         if args.experiment == "all":
             for name, fn in EXPERIMENTS.items():
@@ -156,9 +273,12 @@ def main(argv=None) -> int:
             path = write_trace_artifact(
                 args.trace, chrome=args.trace_format == "chrome"
             )
-            enable_tracing(False)
             print(f"trace written to {path}", file=sys.stderr)
-    return 0
+        if tracing or args.metrics_out:
+            exit_code = write_profile_artifacts(args)
+            enable_tracing(False)
+            enable_metrics_collection(False)
+    return exit_code
 
 
 if __name__ == "__main__":

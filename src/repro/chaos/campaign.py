@@ -36,6 +36,7 @@ from repro.chaos.scenario import (
 )
 from repro.dht.node import DhtNode
 from repro.errors import OverlayError, RecoveryError, ReproError, SimulationError
+from repro.obs.tracer import Tracer
 from repro.recovery.line import LineRecovery
 from repro.recovery.model import RecoveryHandle, RecoveryResult
 from repro.recovery.speculation import SpeculativeStarRecovery
@@ -324,6 +325,10 @@ class ScenarioOutcome:
     speculations: float = 0.0
     restarts: int = 0
     max_recovery_s: float = 0.0
+    # Aggregated blame fractions across every recovery the run performed
+    # (detection/transfer/merge/control/queueing, summing to 1.0) — the
+    # "why was this cell degraded" answer, straight from the profiler.
+    blame: Dict[str, float] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
     hard_violations: Dict[str, List[str]] = field(default_factory=dict)
     soft_violations: Dict[str, List[str]] = field(default_factory=dict)
@@ -341,6 +346,7 @@ class ScenarioOutcome:
             "speculations": self.speculations,
             "restarts": self.restarts,
             "max_recovery_s": round(self.max_recovery_s, 6),
+            "blame": {k: round(self.blame[k], 6) for k in sorted(self.blame)},
             "errors": list(self.errors),
             "hard_violations": {k: list(v) for k, v in self.hard_violations.items()},
             "soft_violations": {k: list(v) for k, v in self.soft_violations.items()},
@@ -419,11 +425,16 @@ def run_scenario(
     trace_name: Optional[str] = None,
 ) -> ScenarioOutcome:
     """Run one scenario under one mechanism and classify the outcome."""
+    # Chaos runs always trace: the blame breakdown of each cell needs the
+    # span forest. Without an explicit trace_name the tracer stays local to
+    # this run (nothing lands in the process-wide collector).
+    tracer = Tracer(f"{scenario.name}/{mechanism}") if trace_name is None else None
     deployment = build_scenario(
         num_nodes=scenario.num_nodes,
         seed=scenario.seed,
         uplink_mbit=scenario.uplink_mbit or None,
         downlink_mbit=scenario.uplink_mbit or None,
+        tracer=tracer,
         trace_name=trace_name,
     )
     engine = ChaosEngine(deployment, scenario, mechanism)
@@ -439,6 +450,23 @@ def run_scenario(
     )
     report = check_invariants(run, checkers)
     return _classify(run, report)
+
+
+def _aggregate_blame(tracer) -> Dict[str, float]:
+    """Campaign-level blame fractions: all recoveries of one run, combined."""
+    from repro.obs.profile import profile_tracers
+
+    if not getattr(tracer, "enabled", False):
+        return {}
+    profiles = profile_tracers(tracer)
+    total = sum(p.makespan for p in profiles)
+    if total <= 0:
+        return {}
+    seconds: Dict[str, float] = {}
+    for profile in profiles:
+        for category, value in profile.blame_seconds.items():
+            seconds[category] = seconds.get(category, 0.0) + value
+    return {category: seconds[category] / total for category in sorted(seconds)}
 
 
 def _classify(run: RunContext, invariants: InvariantReport) -> ScenarioOutcome:
@@ -471,6 +499,7 @@ def _classify(run: RunContext, invariants: InvariantReport) -> ScenarioOutcome:
         max_recovery_s=max(
             (r.duration for r in run.results.values()), default=0.0
         ),
+        blame=_aggregate_blame(engine.sim.tracer),
         errors=list(run.errors),
         hard_violations=dict(invariants.hard_violations),
         soft_violations=dict(invariants.soft_violations),

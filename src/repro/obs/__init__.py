@@ -8,7 +8,13 @@ The layer behind every "where does recovery time go" question:
 - :mod:`repro.obs.registry` — counters, time series, gauges, and
   histograms behind one named :class:`MetricsRegistry` per simulation;
 - :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and plain-dict
-  dumps, byte-identical across same-seed runs.
+  dumps, byte-identical across same-seed runs;
+- :mod:`repro.obs.critical_path` — the critical path through a recovery's
+  span DAG with per-category blame attribution;
+- :mod:`repro.obs.profile` — deterministic :class:`RecoveryProfile`
+  reports (blame fractions, bytes on the critical path, predicted vs
+  observed mechanism cost);
+- :mod:`repro.obs.flamegraph` — collapsed-stack and speedscope exports.
 
 Enable per deployment (``SR3.create(trace=True)``), per scenario
 (``build_scenario(tracer=Tracer())``), or process-wide for the bench CLI
@@ -16,8 +22,43 @@ Enable per deployment (``SR3.create(trace=True)``), per scenario
 records into a collected tracer).
 """
 
+from repro.obs.critical_path import (
+    BLAME_BY_CATEGORY,
+    BLAME_CATEGORIES,
+    CriticalSegment,
+    blame_breakdown,
+    blame_of,
+    critical_path,
+    recovery_roots,
+)
 from repro.obs.export import chrome_trace, dumps_trace, trace_dict, write_trace
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
+from repro.obs.flamegraph import (
+    collapsed_stacks,
+    flamegraph_text,
+    speedscope_document,
+    write_flamegraph,
+    write_speedscope,
+)
+from repro.obs.profile import (
+    ProfileReport,
+    RecoveryProfile,
+    build_report,
+    profile_recovery,
+    profile_tracers,
+    write_profile,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    clear_collected_registries,
+    collected_registries,
+    default_registry,
+    enable_metrics_collection,
+    metrics_collection_enabled,
+)
 from repro.obs.tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -47,8 +88,31 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "default_registry",
+    "enable_metrics_collection",
+    "metrics_collection_enabled",
+    "collected_registries",
+    "clear_collected_registries",
     "chrome_trace",
     "trace_dict",
     "dumps_trace",
     "write_trace",
+    "BLAME_BY_CATEGORY",
+    "BLAME_CATEGORIES",
+    "CriticalSegment",
+    "blame_of",
+    "blame_breakdown",
+    "critical_path",
+    "recovery_roots",
+    "RecoveryProfile",
+    "ProfileReport",
+    "profile_recovery",
+    "profile_tracers",
+    "build_report",
+    "write_profile",
+    "collapsed_stacks",
+    "flamegraph_text",
+    "speedscope_document",
+    "write_flamegraph",
+    "write_speedscope",
 ]

@@ -35,7 +35,6 @@ def _as_tracers(tracers: Optional[TracerLike]) -> List[Tracer]:
 
 
 def _span_row(span: Span) -> Dict[str, object]:
-    end = span.end if span.end is not None else span._tracer.now
     return {
         "id": span.span_id,
         "parent": span.parent_id,
@@ -43,7 +42,7 @@ def _span_row(span: Span) -> Dict[str, object]:
         "category": span.category,
         "kind": span.kind,
         "start": span.start,
-        "end": end,
+        "end": span.effective_end,
         "attrs": dict(sorted(span.attrs.items())),
     }
 
@@ -94,7 +93,7 @@ def chrome_trace(tracers: Optional[TracerLike] = None) -> Dict[str, object]:
             }
         )
         for span in tracer.spans:
-            end = span.end if span.end is not None else tracer.now
+            end = span.effective_end
             args = dict(sorted(span.attrs.items()))
             args["span_id"] = span.span_id
             if span.parent_id is not None:

@@ -23,7 +23,18 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
-__all__ = ["Counter", "TimeSeries", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "TimeSeries",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "enable_metrics_collection",
+    "metrics_collection_enabled",
+    "collected_registries",
+    "clear_collected_registries",
+]
 
 
 class Counter:
@@ -239,3 +250,45 @@ class MetricsRegistry:
                 n: s.points for n, s in sorted(self._series.items())
             },
         }
+
+
+# ----------------------------------------------------- process-wide collection
+#
+# Mirrors the tracer collector: the bench CLI flips the switch on, every
+# freshly built Simulator asks :func:`default_registry` for its registry,
+# and ``--metrics-out`` dumps the whole collected list as one artifact.
+
+_COLLECT_REGISTRIES = False
+_COLLECTED_REGISTRIES: List[MetricsRegistry] = []
+
+
+def enable_metrics_collection(enabled: bool = True) -> None:
+    """Turn on (or off) registry collection for every new simulation."""
+    global _COLLECT_REGISTRIES
+    _COLLECT_REGISTRIES = enabled
+
+
+def metrics_collection_enabled() -> bool:
+    return _COLLECT_REGISTRIES
+
+
+def default_registry(name: str = "sim") -> MetricsRegistry:
+    """A registry for a new simulation; collected while the switch is on.
+
+    Unlike tracers there is no null variant — counters are cheap enough to
+    keep always — so a fresh registry is returned either way; collection
+    only changes whether it is retained (with an indexed name) for export.
+    """
+    if not _COLLECT_REGISTRIES:
+        return MetricsRegistry(name)
+    registry = MetricsRegistry(f"{name}-{len(_COLLECTED_REGISTRIES)}")
+    _COLLECTED_REGISTRIES.append(registry)
+    return registry
+
+
+def collected_registries() -> List[MetricsRegistry]:
+    return list(_COLLECTED_REGISTRIES)
+
+
+def clear_collected_registries() -> None:
+    del _COLLECTED_REGISTRIES[:]

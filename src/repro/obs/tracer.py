@@ -112,10 +112,20 @@ class Span:
         return self.end is not None
 
     @property
+    def effective_end(self) -> float:
+        """The span's end; open spans clamp to the tracer's current clock.
+
+        The public way to read "where does this span stop right now" —
+        exports, the critical-path profiler, and anything else that needs
+        an end time for a possibly-open span should use this instead of
+        reaching into the owning tracer.
+        """
+        return self.end if self.end is not None else self._tracer.now
+
+    @property
     def duration(self) -> float:
         """Seconds covered; open spans extend to the tracer's clock."""
-        end = self.end if self.end is not None else self._tracer.now
-        return end - self.start
+        return self.effective_end - self.start
 
     def __repr__(self) -> str:
         state = f"{self.start:.4f}..{self.end:.4f}" if self.done else f"{self.start:.4f}.."
@@ -134,6 +144,7 @@ class _NullSpan:
     kind = "span"
     start = 0.0
     end = 0.0
+    effective_end = 0.0
     done = True
     duration = 0.0
     attrs: Dict[str, Any] = {}

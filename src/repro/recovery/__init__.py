@@ -25,7 +25,14 @@ from repro.recovery.save import SaveResult, sr3_save
 from repro.recovery.star import StarRecovery
 from repro.recovery.line import LineRecovery
 from repro.recovery.tree import TreeRecovery
-from repro.recovery.selection import Mechanism, SelectionInputs, select_mechanism
+from repro.recovery.selection import (
+    Mechanism,
+    SelectionExplanation,
+    SelectionInputs,
+    explain_selection,
+    predict_recovery_seconds,
+    select_mechanism,
+)
 from repro.recovery.speculation import SpeculationConfig, SpeculativeStarRecovery
 from repro.recovery.manager import RecoveryManager
 
@@ -40,7 +47,10 @@ __all__ = [
     "LineRecovery",
     "TreeRecovery",
     "Mechanism",
+    "SelectionExplanation",
     "SelectionInputs",
+    "explain_selection",
+    "predict_recovery_seconds",
     "select_mechanism",
     "SpeculationConfig",
     "SpeculativeStarRecovery",

@@ -88,6 +88,7 @@ class LineRecovery:
         total_bytes = float(
             sum(p.replica.size_bytes for p in shard_sources.values())
         )
+        root_span.annotate(state_bytes=total_bytes, shards=len(shard_sources))
 
         # The chain: distinct provider nodes, at most ``path_length`` of them.
         chain: List[DhtNode] = []
@@ -102,6 +103,7 @@ class LineRecovery:
             root_span.finish(error="no_chain_nodes")
             handle._fail(InsufficientShardsError(f"{name}: no chain nodes available"))
             return handle
+        root_span.annotate(chain_length=len(chain))
 
         # Assign each shard to a chain node: its holder when the holder is
         # in the chain, round-robin otherwise (those must prefetch).
@@ -207,6 +209,7 @@ class LineRecovery:
                 category="recovery.transfer",
                 bytes=total_bytes,
                 provider=tail.name,
+                stage=len(chain) - 1,
             )
 
             def stream_arrived(_flow) -> None:
@@ -367,6 +370,7 @@ class LineRecovery:
                     f"prefetch shard {index} to {target.name}",
                     category="recovery.transfer",
                     bytes=float(placed.replica.size_bytes),
+                    shard=index,
                     provider=placed.node.name,
                 )
 
@@ -414,6 +418,8 @@ class LineRecovery:
                 progress["bytes"] += item["placed"].replica.size_bytes
                 sim.schedule(item["penalty"], begin, item)
 
-        detect_span = root_span.child("detect", category="recovery.detect")
+        detect_span = root_span.child(
+            "detect", category="recovery.detect", delay=cost.detection_delay
+        )
         sim.schedule(cost.detection_delay, start_prefetch)
         return handle

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass
-from typing import Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
 
 from repro.errors import SelectionError
 from repro.recovery.line import LineRecovery
+from repro.recovery.model import CostModel
 from repro.recovery.star import StarRecovery
 from repro.recovery.tree import TreeRecovery
 from repro.util.sizes import MB
@@ -129,4 +130,145 @@ def build_mechanism(
     return TreeRecovery(
         fanout_bits=recommended_tree_fanout_bits(inputs.state_bytes, expected_failures),
         sub_shards=8,
+    )
+
+
+# -------------------------------------------------------- predicted vs observed
+#
+# The heuristic of Fig. 7 is a decision diagram, not a cost model — but its
+# branches imply cost predictions, and the profiler can measure how wrong
+# they are. ``explain_selection`` turns one set of inputs into closed-form
+# predicted recovery times per mechanism; the profiler feeds measured
+# makespans back via :meth:`SelectionExplanation.observe`, and the relative
+# model error per mechanism becomes part of the profile artifact.
+
+# Link speed assumed by predictions when no measured bandwidth is supplied:
+# GbE payload rate, matching the unconstrained benchmark configuration.
+DEFAULT_PREDICTION_BANDWIDTH = 125.0 * MB
+
+# Default sub-shards per tree (mirrors TreeRecovery's default).
+_TREE_SUB_SHARDS = 8
+
+
+def _predicted_shards(state_bytes: float) -> int:
+    """Shard count implied by the benchmark sizing: 8 MB shards, at least 4."""
+    return max(4, int(state_bytes // (8.0 * MB)))
+
+
+def predict_recovery_seconds(
+    mechanism: Union[Mechanism, str],
+    inputs: SelectionInputs,
+    cost_model: Optional[CostModel] = None,
+    bandwidth: Optional[float] = None,
+) -> float:
+    """Closed-form predicted recovery time for one mechanism.
+
+    Deliberately simple — serial transfer at ``bandwidth`` plus the
+    CostModel's CPU terms — so the *gap* between prediction and measurement
+    is meaningful: it is exactly the queueing/contention behaviour the
+    closed forms ignore and the simulation captures.
+    """
+    cost = cost_model if cost_model is not None else CostModel()
+    bw = bandwidth if bandwidth is not None else DEFAULT_PREDICTION_BANDWIDTH
+    mech = mechanism if isinstance(mechanism, Mechanism) else Mechanism(mechanism)
+    size = inputs.state_bytes
+    if mech is Mechanism.NONE or size <= 0:
+        return 0.0
+    transfer = size / bw
+    install = cost.install_time(size)
+    if mech is Mechanism.STAR:
+        shards = _predicted_shards(size)
+        return (
+            cost.detection_delay
+            + transfer
+            + cost.merge_time(size)
+            + cost.shard_setup * shards
+            + install
+        )
+    if mech is Mechanism.LINE:
+        length = recommended_path_length(size, inputs.latency_sensitive)
+        # The pipelined chain races the stream into the replacement against
+        # the sequential per-stage CPU work (merge of each stage's portion
+        # plus the redundant prefix recomputation of Sec. 5.2).
+        cpu = (
+            length * cost.stage_setup
+            + cost.merge_time(size)
+            + cost.line_redundant_factor * cost.merge_time(size * (length + 1) / 2.0)
+        )
+        return cost.detection_delay + max(transfer, cpu) + install
+    # TREE: build the per-shard aggregation trees, pay one handoff per
+    # level, aggregate (range concatenation at the install rate), deliver.
+    bits = recommended_tree_fanout_bits(size)
+    height = max(1, int(math.ceil(math.log(_TREE_SUB_SHARDS, 1 << max(1, bits)))))
+    build = cost.tree_build_base + cost.tree_build_per_member * _TREE_SUB_SHARDS
+    return (
+        cost.detection_delay
+        + build
+        + height * cost.level_setup
+        + transfer
+        + cost.install_time(size)  # interior range-concat merges
+        + install
+    )
+
+
+@dataclass
+class SelectionExplanation:
+    """The heuristic's choice plus predicted vs observed cost per mechanism.
+
+    ``predicted_seconds`` always carries star/line/tree; ``observed_seconds``
+    fills in as the profiler measures actual recoveries. ``model_error`` is
+    the signed relative error — positive means the mechanism ran slower
+    than the closed form predicted.
+    """
+
+    inputs: SelectionInputs
+    chosen: Mechanism
+    predicted_seconds: Dict[str, float]
+    observed_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @staticmethod
+    def _key(mechanism: Union[Mechanism, str]) -> str:
+        return mechanism.value if isinstance(mechanism, Mechanism) else str(mechanism)
+
+    def observe(self, mechanism: Union[Mechanism, str], seconds: float) -> None:
+        """Record a measured recovery makespan for one mechanism."""
+        self.observed_seconds[self._key(mechanism)] = float(seconds)
+
+    def model_error(self, mechanism: Union[Mechanism, str]) -> Optional[float]:
+        """(observed - predicted) / predicted, or None if either is missing."""
+        key = self._key(mechanism)
+        predicted = self.predicted_seconds.get(key)
+        observed = self.observed_seconds.get(key)
+        if predicted is None or observed is None or predicted <= 0:
+            return None
+        return (observed - predicted) / predicted
+
+    def to_dict(self) -> Dict[str, object]:
+        errors = {}
+        for key in sorted(self.observed_seconds):
+            error = self.model_error(key)
+            if error is not None:
+                errors[key] = error
+        return {
+            "chosen": self.chosen.value,
+            "state_bytes": self.inputs.state_bytes,
+            "predicted_seconds": dict(sorted(self.predicted_seconds.items())),
+            "observed_seconds": dict(sorted(self.observed_seconds.items())),
+            "model_error": errors,
+        }
+
+
+def explain_selection(
+    inputs: SelectionInputs,
+    cost_model: Optional[CostModel] = None,
+    bandwidth: Optional[float] = None,
+) -> SelectionExplanation:
+    """Run the heuristic and predict every mechanism's cost for comparison."""
+    return SelectionExplanation(
+        inputs=inputs,
+        chosen=select_mechanism(inputs),
+        predicted_seconds={
+            mech.value: predict_recovery_seconds(mech, inputs, cost_model, bandwidth)
+            for mech in (Mechanism.STAR, Mechanism.LINE, Mechanism.TREE)
+        },
     )

@@ -111,6 +111,11 @@ class SpeculativeStarRecovery:
         total_bytes = float(
             sum(providers[i][0].replica.size_bytes for i in shard_indexes)
         )
+        root_span.annotate(
+            state_bytes=total_bytes,
+            shards=len(shard_indexes),
+            window=1 << self.fanout_bits,
+        )
         state = {
             "arrived": set(),  # shard indices already merged
             "bytes": 0.0,
@@ -179,6 +184,7 @@ class SpeculativeStarRecovery:
                 + (" (speculative)" if attempt else ""),
                 category="recovery.transfer",
                 bytes=float(size),
+                shard=index,
                 provider=placed.node.name,
                 attempt=attempt,
             )
@@ -298,6 +304,8 @@ class SpeculativeStarRecovery:
             for index in shard_indexes:
                 fetch(index, 0)
 
-        detect_span = root_span.child("detect", category="recovery.detect")
+        detect_span = root_span.child(
+            "detect", category="recovery.detect", delay=cost.detection_delay
+        )
         sim.schedule(cost.detection_delay, launch)
         return handle

@@ -96,6 +96,9 @@ class StarRecovery:
             )
 
         total_bytes = float(sum(a["placed"].replica.size_bytes for a in assignments))
+        root_span.annotate(
+            state_bytes=total_bytes, shards=len(assignments), window=self.window
+        )
         progress = {"next": 0, "arrived": 0, "bytes": 0.0}
         policy = self.retry_policy
 
@@ -125,6 +128,7 @@ class StarRecovery:
                 f"fetch shard {assignment['index']} from {placed.node.name}",
                 category="recovery.transfer",
                 bytes=float(size),
+                shard=assignment["index"],
                 provider=placed.node.name,
                 attempt=assignment.get("retries", 0),
             )
@@ -274,7 +278,9 @@ class StarRecovery:
             for _ in range(min(self.window, len(assignments))):
                 fetch_next()
 
-        detect_span = root_span.child("detect", category="recovery.detect")
+        detect_span = root_span.child(
+            "detect", category="recovery.detect", delay=cost.detection_delay
+        )
         progress["cpu_free_at"] = started_at + cost.detection_delay
         sim.schedule(cost.detection_delay, launch)
         return handle

@@ -132,6 +132,7 @@ class TreeRecovery:
                 }
             )
 
+        root_span.annotate(state_bytes=float(total_bytes), shards=len(trees))
         progress = {
             "bytes": 0.0,
             "delivered": 0,
@@ -253,6 +254,7 @@ class TreeRecovery:
                 f"deliver shard {tree_info['index']} from {root.name}",
                 category="recovery.transfer",
                 bytes=tree_info["bytes"],
+                shard=tree_info["index"],
                 provider=root.name,
             )
 
@@ -310,6 +312,7 @@ class TreeRecovery:
                 f"aggregate shard {tree_info['index']}",
                 category="recovery.aggregate",
                 bytes=tree_info["bytes"],
+                shard=tree_info["index"],
                 members=len(members),
                 attempt=tree_info["retries"],
             )
@@ -359,6 +362,8 @@ class TreeRecovery:
                     f"sub-shard {node.name}->{parent.name}",
                     category="recovery.transfer",
                     bytes=payload,
+                    shard=tree_info["index"],
+                    level=tree.depth_of(node),
                     provider=node.name,
                 )
 
@@ -433,7 +438,9 @@ class TreeRecovery:
                 )
                 sim.schedule(build_time, run_tree, tree_info)
 
-        detect_span = root_span.child("detect", category="recovery.detect")
+        detect_span = root_span.child(
+            "detect", category="recovery.detect", delay=cost.detection_delay
+        )
         sim.schedule(cost.detection_delay, launch)
         return handle
 

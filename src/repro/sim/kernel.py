@@ -15,7 +15,7 @@ import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, default_registry
 from repro.obs.tracer import default_tracer
 
 
@@ -57,7 +57,7 @@ class Simulator:
         # always real — counters are cheap and every layer shares this one.
         self.tracer = tracer if tracer is not None else default_tracer()
         self.tracer.bind_clock(lambda: self._now)
-        self.metrics = metrics if metrics is not None else MetricsRegistry("sim")
+        self.metrics = metrics if metrics is not None else default_registry("sim")
         # Opt-in firehose: emit one instant trace event per executed
         # callback. Off by default even with tracing on — event volume
         # dwarfs the spans the components themselves emit.

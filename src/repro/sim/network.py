@@ -65,6 +65,7 @@ class Flow:
     """One bulk transfer in flight between two hosts."""
 
     __slots__ = (
+        "seq",
         "src",
         "dst",
         "size",
@@ -90,7 +91,12 @@ class Flow:
         on_abort: Optional[Callable[["Flow"], None]],
         tag: Optional[str],
         started_at: float,
+        seq: int = 0,
     ) -> None:
+        # Admission order within the network. Flows live in identity-hashed
+        # sets; every place where iteration order can leak into float
+        # accumulation or callback order sorts by this instead.
+        self.seq = seq
         self.src = src
         self.dst = dst
         self.size = size
@@ -140,6 +146,18 @@ class Network:
         self._flows_completed_counter = sim.metrics.counter("net.flows_completed")
         self._flows_aborted_counter = sim.metrics.counter("net.flows_aborted")
         self._control_dropped_counter = sim.metrics.counter("net.control_dropped")
+        # Telemetry timelines: the per-link evidence behind blame
+        # attribution. Every max-min reallocation appends one point per
+        # involved host to its utilization/flow-count series, so the
+        # profiler can answer "was the bottleneck the provider's uplink or
+        # the replacement's downlink" post hoc.
+        self._flows_active_series = sim.metrics.series("net.flows_active")
+        self._queue_wait_hist = sim.metrics.histogram("net.flow_queue_wait")
+        self._flow_stall_hist = sim.metrics.histogram("net.flow_stall_s")
+        # Hosts whose allocation may just have dropped (flow removed or
+        # bandwidth changed) and must record a fresh sample even if they
+        # no longer carry any flow.
+        self._telemetry_dirty: Set[Host] = set()
 
     def in_flight_flows(self) -> int:
         """Number of admitted flows still moving bytes (audit hook)."""
@@ -164,7 +182,9 @@ class Network:
     def fail_host(self, host: Host) -> None:
         """Crash a host: all flows touching it abort immediately."""
         host.alive = False
-        victims = [f for f in self._flows if f.src is host or f.dst is host]
+        victims = self._ordered(
+            f for f in self._flows if f.src is host or f.dst is host
+        )
         self._settle_progress()
         for flow in victims:
             self._remove_flow(flow)
@@ -206,7 +226,9 @@ class Network:
         if unknown:
             raise NetworkError(f"cannot partition unknown hosts: {sorted(unknown)}")
         self._partition = names
-        victims = [f for f in self._flows if not self.reachable(f.src, f.dst)]
+        victims = self._ordered(
+            f for f in self._flows if not self.reachable(f.src, f.dst)
+        )
         self._settle_progress()
         for flow in victims:
             self._remove_flow(flow)
@@ -265,7 +287,10 @@ class Network:
             raise NetworkError(f"transfer between dead hosts: {src.name}->{dst.name}")
         if nbytes < 0:
             raise NetworkError("transfer size must be non-negative")
-        flow = Flow(src, dst, nbytes, on_complete, on_abort, tag, self.sim.now)
+        flow = Flow(
+            src, dst, nbytes, on_complete, on_abort, tag, self.sim.now,
+            seq=self.started_flows,
+        )
         self.started_flows += 1
         self._flows_started_counter.add(1)
         flow.span = self.sim.tracer.start(
@@ -292,6 +317,7 @@ class Network:
         self._settle_progress()
         flow.admitted_at = self.sim.now
         flow._last_update = self.sim.now
+        self._queue_wait_hist.observe(self.sim.now - flow.started_at)
         if flow.remaining <= _EPSILON_BYTES:
             self._finish_flow(flow)
             return
@@ -345,10 +371,15 @@ class Network:
 
     # ---------------------------------------------------------------- internal
 
+    @staticmethod
+    def _ordered(flows) -> List[Flow]:
+        """Flows in admission order — the deterministic iteration order."""
+        return sorted(flows, key=lambda f: f.seq)
+
     def _settle_progress(self) -> None:
         """Advance every flow's remaining-byte count to the current instant."""
         now = self.sim.now
-        for flow in self._flows:
+        for flow in self._ordered(self._flows):
             elapsed = now - flow._last_update
             if math.isinf(flow.rate):
                 # Unconstrained path: the transfer completes instantly.
@@ -369,12 +400,23 @@ class Network:
         self._flows.discard(flow)
         flow.src.active_out.discard(flow)
         flow.dst.active_in.discard(flow)
+        # Their utilization may have just dropped to zero; make sure the
+        # next telemetry sample closes out their timelines.
+        self._telemetry_dirty.add(flow.src)
+        self._telemetry_dirty.add(flow.dst)
 
     def _finish_flow(self, flow: Flow) -> None:
         flow.completed_at = self.sim.now
         flow.remaining = 0.0
         self.completed_flows += 1
         self._flows_completed_counter.add(1)
+        if flow.admitted_at is not None:
+            # Stall = time lost to bandwidth sharing: actual transfer time
+            # minus what the flow's own bottleneck link would have taken.
+            bottleneck = min(flow.src.up_bw, flow.dst.down_bw)
+            ideal = 0.0 if math.isinf(bottleneck) else flow.size / bottleneck
+            stall = (flow.completed_at - flow.admitted_at) - ideal
+            self._flow_stall_hist.observe(max(0.0, stall))
         flow.span.finish()
         if flow.on_complete is not None:
             flow.on_complete(flow)
@@ -389,11 +431,13 @@ class Network:
             self.sim.cancel(self._completion_event)
             self._completion_event = None
         if not self._flows:
+            self._record_telemetry()
             return
 
+        ordered_flows = self._ordered(self._flows)
         residual: Dict[tuple, float] = {}
         members: Dict[tuple, List[Flow]] = {}
-        for flow in self._flows:
+        for flow in ordered_flows:
             up_key = ("up", flow.src.name)
             down_key = ("down", flow.dst.name)
             residual.setdefault(up_key, flow.src.up_bw)
@@ -423,7 +467,10 @@ class Network:
                     newly_fixed.update(active)
             if not newly_fixed:
                 raise NetworkError("water-filling failed to make progress")
-            for flow in newly_fixed:
+            # Subtract in admission order: residual capacities accumulate
+            # float error, and a set-order walk would make the ulps depend
+            # on object addresses rather than on the seed.
+            for flow in self._ordered(newly_fixed):
                 rates[flow] = bottleneck_share
                 unfixed.discard(flow)
                 residual[("up", flow.src.name)] -= bottleneck_share
@@ -432,7 +479,7 @@ class Network:
                 residual[key] = max(0.0, residual[key])
 
         next_completion = math.inf
-        for flow in self._flows:
+        for flow in ordered_flows:
             flow.rate = rates.get(flow, 0.0)
             if flow.rate > 0:
                 if math.isinf(flow.rate):
@@ -443,11 +490,42 @@ class Network:
         if not math.isinf(next_completion):
             delay = max(0.0, next_completion - self.sim.now)
             self._completion_event = self.sim.schedule(delay, self._on_completion_tick)
+        self._record_telemetry()
+
+    @staticmethod
+    def _direction_utilization(flows: Set[Flow], capacity: float) -> float:
+        if not flows or math.isinf(capacity):
+            return 0.0
+        # fsum over sorted rates: exactly rounded and independent of set
+        # iteration order, so same-seed runs serialize identical timelines.
+        used = math.fsum(sorted(f.rate for f in flows if not math.isinf(f.rate)))
+        return min(1.0, used / capacity)
+
+    def _record_telemetry(self) -> None:
+        """Sample per-host link utilization and flow counts after a reallocation."""
+        now = self.sim.now
+        self._flows_active_series.record(now, float(len(self._flows)))
+        involved = {f.src for f in self._flows} | {f.dst for f in self._flows}
+        involved |= self._telemetry_dirty
+        self._telemetry_dirty.clear()
+        series = self.sim.metrics.series
+        for host in sorted(involved, key=lambda h: h.name):
+            series(f"net.host.{host.name}.up_util").record(
+                now, self._direction_utilization(host.active_out, host.up_bw)
+            )
+            series(f"net.host.{host.name}.down_util").record(
+                now, self._direction_utilization(host.active_in, host.down_bw)
+            )
+            series(f"net.host.{host.name}.flows").record(
+                now, float(len(host.active_out) + len(host.active_in))
+            )
 
     def _on_completion_tick(self) -> None:
         self._completion_event = None
         self._settle_progress()
-        finished = [f for f in self._flows if f.remaining <= _EPSILON_BYTES]
+        finished = self._ordered(
+            f for f in self._flows if f.remaining <= _EPSILON_BYTES
+        )
         for flow in finished:
             self._remove_flow(flow)
         for flow in finished:
