@@ -45,7 +45,7 @@ from repro.recovery.star import StarRecovery
 from repro.recovery.tree import TreeRecovery
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
-from repro.state.partitioner import merge_shards, partition_snapshot, partition_synthetic
+from repro.state.partitioner import partition_snapshot, partition_synthetic
 from repro.state.shard import Shard
 from repro.state.store import StateSnapshot, StateStore
 from repro.util.sizes import mbit_per_s
@@ -407,7 +407,9 @@ class SR3:
             replacement = registered.owner
         handle = self.manager.recover(state_name, replacement, mechanism)
         result = self.manager.run([handle])[0]
-        snapshot = merge_shards(registered.plan.available_shards())
+        # Chain-aware reconstruction: base-then-deltas when the state's
+        # plan is a version chain, plain shard merge otherwise.
+        snapshot = self.manager.recovered_snapshot(state_name)
         return snapshot, result
 
     # --------------------------------------------------------- observability

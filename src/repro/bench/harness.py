@@ -146,6 +146,48 @@ def saved_state(
     return registered, handle.result
 
 
+def saved_delta(
+    scenario: Scenario,
+    state_name: str,
+    delta_bytes: float,
+    serial: bool = True,
+):
+    """Append one synthetic delta round to an already-saved state.
+
+    Splits ``delta_bytes`` evenly over the chain's shard count and ships
+    it through :meth:`RecoveryManager.save_delta`; the manager falls back
+    to a full save on its own when the chain cannot be extended. Returns
+    ``(registered, SaveResult)`` like :func:`saved_state`.
+    """
+    from repro.state.shard import DeltaShard
+
+    registered = scenario.manager.states[state_name]
+    chain = registered.chain
+    if chain is None or not chain.links:
+        raise BenchmarkError(
+            f"{state_name}: no version chain to extend — save a base first"
+        )
+    parent = chain.tip_version
+    version = StateVersion(scenario.sim.now, parent.sequence + 1)
+    num_shards = chain.num_shards
+    per_shard = int(delta_bytes // num_shards)
+    delta_shards = [
+        DeltaShard.synthetic_delta(
+            state_name,
+            index,
+            num_shards,
+            version,
+            parent,
+            chain.length,
+            per_shard,
+        )
+        for index in range(num_shards)
+    ]
+    handle = scenario.manager.save_delta(state_name, delta_shards, serial=serial)
+    scenario.sim.run_until_idle()
+    return registered, handle.result
+
+
 def timed_recovery(scenario: Scenario, mechanism, state_name: str, replacement=None):
     """Fail the owner and run one recovery; returns the RecoveryResult."""
     registered = scenario.manager.states[state_name]

@@ -38,6 +38,7 @@ from repro.chaos.injectors import (
 from repro.chaos.invariants import (
     DEFAULT_CHECKERS,
     FlowAccounting,
+    ChainChecksumConsistent,
     InvariantChecker,
     InvariantReport,
     NoOrphanedReplicas,
@@ -58,6 +59,7 @@ from repro.chaos.scenario import (
 __all__ = [
     "BandwidthFlap",
     "CAMPAIGNS",
+    "ChainChecksumConsistent",
     "ChaosEngine",
     "CrashWave",
     "DEFAULT_CHECKERS",

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.harness import Scenario as Deployment
-from repro.bench.harness import build_scenario, saved_state
+from repro.bench.harness import build_scenario, saved_delta, saved_state
 from repro.chaos.invariants import (
     DEFAULT_CHECKERS,
     InvariantReport,
@@ -92,6 +92,10 @@ class ChaosEngine:
         self.errors: List[str] = []
         self.restarts: Dict[str, int] = {}
         self.joins = 0
+        # Per-state chain ground truth captured after setup: the digest of
+        # every chain segment plus the reconstructed tip snapshot's shape,
+        # audited by the chain-checksum-consistent invariant.
+        self.pre_state: Dict[str, Dict[str, object]] = {}
         self._recovering: set = set()
         self._hooks: List[Callable[[str, object, DhtNode], None]] = []
         self._crash_counter = self.sim.metrics.counter("chaos.crashes")
@@ -101,10 +105,16 @@ class ChaosEngine:
     def setup_states(self) -> Dict[str, Dict[int, str]]:
         """Register, save, and snapshot every protected state.
 
-        Owners are distinct nodes; returns the pre-failure ground truth
-        ``{state: {shard_index: checksum}}`` the integrity checker audits
-        against after the campaign.
+        Owners are distinct nodes. For the SR3 mechanisms each state gets
+        a base save plus the scenario's ``delta_rounds`` incremental
+        rounds, so campaigns recover version chains, not just flat plans.
+        Returns the pre-failure ground truth ``{state: {segment_index:
+        checksum}}`` (segment = chain_link * num_shards + shard_index)
+        the integrity checker audits against after the campaign; richer
+        chain ground truth lands in :attr:`pre_state`.
         """
+        from repro.state.chain import chain_digest
+
         checksums: Dict[str, Dict[int, str]] = {}
         for i, state_name in enumerate(self.scenario.state_names()):
             owner = self.overlay.nodes[i]
@@ -116,17 +126,35 @@ class ChaosEngine:
                 )
                 self.deployment.checkpointing.save(owner, registered.state_bytes)
                 self.sim.run_until_idle()
-            else:
-                registered, _result = saved_state(
-                    self.deployment,
-                    state_name,
-                    self.scenario.state_bytes,
-                    num_shards=self.scenario.num_shards,
-                    num_replicas=self.scenario.num_replicas,
-                    owner=owner,
-                )
+                checksums[state_name] = {
+                    shard.index: shard.checksum for shard in registered.shards
+                }
+                continue
+            registered, _result = saved_state(
+                self.deployment,
+                state_name,
+                self.scenario.state_bytes,
+                num_shards=self.scenario.num_shards,
+                num_replicas=self.scenario.num_replicas,
+                owner=owner,
+            )
+            delta_bytes = self.scenario.state_bytes * self.scenario.delta_fraction
+            for _round in range(self.scenario.delta_rounds):
+                saved_delta(self.deployment, state_name, delta_bytes)
+            chain = registered.chain
+            num_shards = self.scenario.num_shards
             checksums[state_name] = {
-                shard.index: shard.checksum for shard in registered.shards
+                link_pos * num_shards + shard.index: shard.checksum
+                for link_pos, link in enumerate(chain.links)
+                for shard in link.shards
+            }
+            segments = registered.plan.available_shards()
+            snapshot = self.manager.recovered_snapshot(state_name)
+            self.pre_state[state_name] = {
+                "digest": chain_digest(segments),
+                "chain_length": chain.length,
+                "size_bytes": snapshot.size_bytes,
+                "version": repr(chain.tip_version),
             }
         return checksums
 
@@ -308,6 +336,9 @@ class RunContext:
     results: Dict[str, RecoveryResult]
     errors: List[str]
     pre_checksums: Dict[str, Dict[int, str]]
+    # Chain-level ground truth per state: segment digest, chain length,
+    # and the reconstructed tip snapshot's shape (see setup_states).
+    pre_state: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 @dataclass
@@ -326,8 +357,8 @@ class ScenarioOutcome:
     restarts: int = 0
     max_recovery_s: float = 0.0
     # Aggregated blame fractions across every recovery the run performed
-    # (detection/transfer/merge/control/queueing, summing to 1.0) — the
-    # "why was this cell degraded" answer, straight from the profiler.
+    # (detection/transfer/merge/replay/control/queueing, summing to 1.0) —
+    # the "why was this cell degraded" answer, straight from the profiler.
     blame: Dict[str, float] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
     hard_violations: Dict[str, List[str]] = field(default_factory=dict)
@@ -447,6 +478,7 @@ def run_scenario(
         results=engine.results,
         errors=engine.errors,
         pre_checksums=pre_checksums,
+        pre_state=engine.pre_state,
     )
     report = check_invariants(run, checkers)
     return _classify(run, report)
@@ -544,9 +576,11 @@ def streaming_probe(seed: int = 0, num_nodes: int = 32) -> ScenarioOutcome:
     """End-to-end chaos probe through the streaming layer.
 
     Runs the word-count topology on a :class:`LocalCluster` with the SR3
-    backend, checkpoints, kills every counting task (losing their
-    in-memory stores), recovers them through SR3, and verifies the
-    recovered state checksums byte-match the pre-kill snapshot.
+    backend, checkpointing periodically along the way — so rounds after
+    the first ship delta shards and grow each task's version chain —
+    then kills every counting task (losing their in-memory stores),
+    recovers them through SR3, and verifies the recovered state checksums
+    byte-match the pre-kill snapshot.
     """
     from repro.dht.overlay import Overlay
     from repro.recovery.manager import RecoveryManager
@@ -567,10 +601,17 @@ def streaming_probe(seed: int = 0, num_nodes: int = 32) -> ScenarioOutcome:
         build_wordcount_topology(num_sentences=400, seed=seed), backend=backend
     )
     cluster.protect_stateful_tasks()
-    cluster.run()
+    cluster.run(checkpoint_every=150)
     expected = cluster.state_checksums()
     cluster.checkpoint()
     errors: List[str] = []
+    chain_lengths = [
+        registered.chain.length
+        for registered in manager.states.values()
+        if registered.chain is not None and registered.chain.links
+    ]
+    if not chain_lengths or max(chain_lengths) < 2:
+        errors.append("no incremental save round landed during the probe")
     for component_id, index in sorted(cluster.stateful_tasks()):
         cluster.kill_task(component_id, index)
         try:

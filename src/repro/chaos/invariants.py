@@ -169,8 +169,66 @@ class RecoveryLatency(InvariantChecker):
         return violations
 
 
+@dataclass(frozen=True)
+class ChainChecksumConsistent(InvariantChecker):
+    """Chain-reconstructed state byte-matches the unfailed run's ground truth.
+
+    After any campaign recovery, reassembling each state's version chain
+    (base shard set plus every delta round, applied in version order) must
+    yield exactly the pre-failure image: the digest over every surviving
+    chain segment, the chain length, the reconstructed tip snapshot's size
+    and version all have to match what :meth:`ChaosEngine.setup_states`
+    captured before a single fault was injected. Catches chain corruption
+    the per-replica checksum audit cannot see — a replayed-out-of-order
+    delta, a dropped tombstone, a truncated chain after a mid-recovery
+    re-failure.
+    """
+
+    name: str = "chain-checksum-consistent"
+
+    def check(self, run: "RunContext") -> List[str]:
+        if run.mechanism == "checkpointing":
+            return []
+        from repro.errors import ReproError
+        from repro.state.chain import chain_digest
+
+        violations: List[str] = []
+        for state_name in sorted(run.results):
+            expected = run.pre_state.get(state_name)
+            registered = run.engine.manager.states.get(state_name)
+            if expected is None or registered is None or registered.plan is None:
+                continue
+            try:
+                segments = registered.plan.available_shards()
+                digest = chain_digest(segments)
+                snapshot = run.engine.manager.recovered_snapshot(state_name)
+            except ReproError as exc:
+                violations.append(
+                    f"{state_name}: chain reconstruction failed ({exc})"
+                )
+                continue
+            if digest != expected["digest"]:
+                violations.append(
+                    f"{state_name}: chain digest drifted "
+                    f"({digest[:12]} != {str(expected['digest'])[:12]})"
+                )
+            if snapshot.size_bytes != expected["size_bytes"]:
+                violations.append(
+                    f"{state_name}: reconstructed snapshot is "
+                    f"{snapshot.size_bytes} bytes, ground truth was "
+                    f"{expected['size_bytes']}"
+                )
+            if repr(snapshot.version) != expected["version"]:
+                violations.append(
+                    f"{state_name}: reconstructed tip version "
+                    f"{snapshot.version!r} != ground truth {expected['version']}"
+                )
+        return violations
+
+
 DEFAULT_CHECKERS = (
     StateIntegrity(),
+    ChainChecksumConsistent(),
     NoOrphanedReplicas(),
     RingConsistency(),
     FlowAccounting(),

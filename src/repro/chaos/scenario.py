@@ -55,6 +55,11 @@ class Scenario:
     num_replicas: int = 3
     uplink_mbit: float = 0.0  # 0 means unconstrained (GbE LAN mode)
     latency_bound: float = 120.0
+    # Incremental save rounds appended to each state's version chain after
+    # the base save, each carrying ``delta_fraction`` of the state bytes —
+    # campaigns exercise chain-aware recovery by default.
+    delta_rounds: int = 2
+    delta_fraction: float = 0.1
     mechanisms: Tuple[str, ...] = SR3_MECHANISMS
     injections: Tuple[Injector, ...] = field(default_factory=tuple)
 
@@ -71,6 +76,10 @@ class Scenario:
             raise SimulationError("shards and replicas must be at least 1")
         if self.latency_bound <= 0:
             raise SimulationError("latency bound must be positive")
+        if self.delta_rounds < 0:
+            raise SimulationError("delta_rounds must be non-negative")
+        if not 0 < self.delta_fraction <= 1:
+            raise SimulationError("delta_fraction must be in (0, 1]")
         if not self.mechanisms:
             raise SimulationError("scenario must sweep at least one mechanism")
         for mechanism in self.mechanisms:
@@ -106,6 +115,8 @@ class Scenario:
             "num_replicas": self.num_replicas,
             "uplink_mbit": self.uplink_mbit,
             "latency_bound": self.latency_bound,
+            "delta_rounds": self.delta_rounds,
+            "delta_fraction": self.delta_fraction,
             "mechanisms": list(self.mechanisms),
             "injections": [inj.to_dict() for inj in self.injections],
         }

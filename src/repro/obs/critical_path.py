@@ -17,8 +17,8 @@ time break by start time and then span id, so identical traces yield
 identical paths.
 
 Each segment carries a *blame* category — the paper's recovery-time
-taxonomy (detection / transfer / merge / control / queueing) — derived
-from the owning span's category via :data:`BLAME_BY_CATEGORY`. Self-time
+taxonomy (detection / transfer / merge / replay / control / queueing) —
+derived from the owning span's category via :data:`BLAME_BY_CATEGORY`. Self-time
 on grouping spans (the recovery root, a tree aggregation) is queueing by
 construction: it is time when the mechanism was waiting on nothing
 measurable.
@@ -44,8 +44,11 @@ __all__ = [
 #: Numerical slack when tiling segments (virtual-clock floats).
 _EPS = 1e-12
 
-#: The blame taxonomy every critical-path second falls into.
-BLAME_CATEGORIES = ("detection", "transfer", "merge", "control", "queueing")
+#: The blame taxonomy every critical-path second falls into. ``replay``
+#: separates delta-chain replay from the base hash-table merge, so a
+#: chain-aware recovery's profile shows where incremental saves shifted
+#: the cost.
+BLAME_CATEGORIES = ("detection", "transfer", "merge", "replay", "control", "queueing")
 
 #: Span category -> blame category. Categories not listed here (including
 #: the bare ``recovery`` root and ``recovery.aggregate`` grouping spans)
@@ -62,7 +65,7 @@ BLAME_BY_CATEGORY: Dict[str, str] = {
     "recovery.merge": "merge",
     "recovery.install": "merge",
     "recovery.partition": "merge",
-    "recovery.replay": "merge",
+    "recovery.replay": "replay",
     "recovery.tree_build": "control",
     "recovery.retry": "control",
     "overlay.route": "control",

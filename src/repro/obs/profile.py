@@ -6,8 +6,8 @@ and distills each recovery into a :class:`RecoveryProfile`:
 - the **critical path** through the recovery's span DAG (a gap-free tiling
   of the makespan — see :mod:`repro.obs.critical_path`);
 - **blame attribution**: seconds and fractions of the makespan per
-  category (detection / transfer / merge / control / queueing), with the
-  fractions summing to 1.0 by construction;
+  category (detection / transfer / merge / replay / control / queueing),
+  with the fractions summing to 1.0 by construction;
 - **bytes on the critical path**: how much of the moved state actually
   gated completion (bytes moved off the path were free);
 - optionally a :class:`~repro.recovery.selection.SelectionExplanation`
@@ -70,6 +70,8 @@ class RecoveryProfile:
     bytes_on_critical_path: float
     state_bytes: float
     span_count: int
+    chain_len: int = 1  # version-chain links the recovery fetched
+    delta_bytes: float = 0.0  # delta payload replayed after the base merge
     segments: List[CriticalSegment] = field(default_factory=list)
     error: Optional[str] = None  # set when the recovery failed
     explanation: Optional[object] = None  # SelectionExplanation, if attached
@@ -98,6 +100,8 @@ class RecoveryProfile:
             "bytes_on_critical_path": self.bytes_on_critical_path,
             "state_bytes": self.state_bytes,
             "span_count": self.span_count,
+            "chain_len": self.chain_len,
+            "delta_bytes": self.delta_bytes,
             "critical_path": [segment.to_dict() for segment in self.segments],
         }
         if self.error is not None:
@@ -140,6 +144,8 @@ def profile_recovery(tracer: Tracer, root: Span) -> RecoveryProfile:
         ),
         state_bytes=state_bytes,
         span_count=descendant_count,
+        chain_len=int(root.attrs.get("chain_len", 1)),
+        delta_bytes=float(root.attrs.get("delta_bytes", 0.0)),
         segments=segments,
         error=root.attrs.get("error"),
     )
@@ -191,7 +197,11 @@ def _attach_explanations(profiles: List[RecoveryProfile], cost_model=None) -> No
         if base not in ("star", "line", "tree"):
             continue
         explanation = explain_selection(
-            SelectionInputs(state_bytes=profile.state_bytes),
+            SelectionInputs(
+                state_bytes=profile.state_bytes,
+                chain_links=profile.chain_len,
+                delta_bytes=min(profile.delta_bytes, profile.state_bytes),
+            ),
             cost_model=cost_model,
         )
         explanation.observe(base, profile.makespan)

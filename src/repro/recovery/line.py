@@ -88,7 +88,15 @@ class LineRecovery:
         total_bytes = float(
             sum(p.replica.size_bytes for p in shard_sources.values())
         )
-        root_span.annotate(state_bytes=total_bytes, shards=len(shard_sources))
+        # Version-chain shape of the plan (1 link / 0 bytes for flat plans).
+        version_links = int(getattr(plan, "chain_length", 1))
+        delta_bytes = float(getattr(plan, "delta_bytes", 0.0))
+        root_span.annotate(
+            state_bytes=total_bytes,
+            shards=len(shard_sources),
+            chain_len=version_links,
+            delta_bytes=delta_bytes,
+        )
 
         # The chain: distinct provider nodes, at most ``path_length`` of them.
         chain: List[DhtNode] = []
@@ -118,6 +126,10 @@ class LineRecovery:
                 rr += 1
                 prefetches.append(
                     {
+                        # Carry the plan's shard index (a global chain
+                        # segment id for ChainPlans) — recomputing it from
+                        # the shard object would lose the link offset.
+                        "index": index,
                         "placed": placed,
                         "target": chain[holder_pos],
                         "penalty": penalties[index],
@@ -150,18 +162,34 @@ class LineRecovery:
                 return
             if not (progress["stream_done"] and progress["cpu_done"]):
                 return
-            install = cost.install_time(total_bytes)
+            replay = cost.replay_time(delta_bytes, version_links - 1)
+            if replay > 0:
+                # The replacement replays delta links in version order on
+                # the fully streamed base before installing.
+                tracer.record(
+                    "replay deltas",
+                    sim.now,
+                    sim.now + replay,
+                    category="recovery.replay",
+                    parent=root_span,
+                    bytes=delta_bytes,
+                    links=version_links - 1,
+                    node=replacement.name,
+                )
+            install = cost.install_time(total_bytes - delta_bytes)
             tracer.record(
                 "install",
-                sim.now,
-                sim.now + install,
+                sim.now + replay,
+                sim.now + replay + install,
                 category="recovery.install",
                 parent=root_span,
                 bytes=total_bytes,
                 node=replacement.name,
             )
-            ctx.charge_cpu(replacement, sim.now, install, cost.merge_cpu_fraction)
-            sim.schedule(install, finish)
+            ctx.charge_cpu(
+                replacement, sim.now, replay + install, cost.merge_cpu_fraction
+            )
+            sim.schedule(replay + install, finish)
 
         def finish() -> None:
             if handle.done:
@@ -316,7 +344,7 @@ class LineRecovery:
                 if handle.done:
                     return
                 placed: PlacedShard = item["placed"]
-                index = placed.replica.shard.index
+                index = item["index"]
                 target: DhtNode = item["target"]
                 if not target.alive:
                     # The chain node that should pre-stage this shard died;

@@ -16,6 +16,9 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.dht.node import DhtNode
 from repro.errors import OverlayError, RecoveryError, StateError
 from repro.recovery.line import LineRecovery
+from repro.state.chain import ChainPlan, CompactionPolicy, VersionChain, reconstruct_chain
+from repro.state.partitioner import merge_shards
+from repro.state.store import StateSnapshot
 from repro.recovery.model import (
     RecoveryContext,
     RecoveryHandle,
@@ -46,6 +49,9 @@ class RegisteredState:
     latency_sensitive: bool = True
     plan: Optional[PlacementPlan] = None
     last_save_duration: Optional[float] = None
+    # Version chain behind the plan: set by the first full save, extended
+    # by delta rounds, reset whenever a full save lands.
+    chain: Optional[VersionChain] = None
 
     @property
     def state_bytes(self) -> float:
@@ -59,7 +65,12 @@ class RecoveryManager:
     ctx: RecoveryContext
     placement: object = field(default_factory=LeafSetPlacement)
     bandwidth_constrained: bool = False
+    compaction: CompactionPolicy = field(default_factory=CompactionPolicy)
     states: Dict[str, RegisteredState] = field(default_factory=dict)
+    # Last recovery handle per state; a save round must not overlap an
+    # in-flight recovery of the same state (the plan it would replace is
+    # the one the mechanism is reading).
+    active_recoveries: Dict[str, RecoveryHandle] = field(default_factory=dict)
 
     # ------------------------------------------------------------- register
 
@@ -104,9 +115,32 @@ class RecoveryManager:
 
     # ----------------------------------------------------------------- save
 
+    def _check_no_active_recovery(self, state_name: str) -> None:
+        handle = self.active_recoveries.get(state_name)
+        if handle is not None and not handle.done:
+            raise RecoveryError(
+                f"cannot save {state_name!r}: a {handle.mechanism} recovery of "
+                f"that state is still in flight"
+            )
+
     def save(self, state_name: str, serial: bool = True) -> SaveHandle:
-        """Start a save round for one registered state."""
+        """Start a full save round for one registered state.
+
+        Resets the state's version chain to a fresh base and garbage
+        collects replicas of the superseded chain that the new placement
+        no longer covers.
+        """
         registered = self._get(state_name)
+        self._check_no_active_recovery(state_name)
+        # Snapshot the superseded chain's placements now: the chain object
+        # itself is reset in-place once the new base lands.
+        stale = []
+        if registered.chain is not None:
+            stale = [
+                (placed.node, placed.replica.key)
+                for link in registered.chain.links
+                for placed in link.plan.placements
+            ]
         handle = sr3_save(
             self.ctx,
             registered.owner,
@@ -119,9 +153,83 @@ class RecoveryManager:
         def record(result) -> None:
             registered.plan = result.plan
             registered.last_save_duration = result.duration
+            chain = registered.chain or VersionChain(state_name)
+            chain.reset(registered.shards, result.plan)
+            registered.chain = chain
+            self._collect_stale_replicas(stale, result.plan)
 
         handle.on_done(record)
         return handle
+
+    def save_delta(
+        self, state_name: str, delta_shards: Sequence[Shard], serial: bool = True
+    ) -> SaveHandle:
+        """Start an incremental save round, or fall back to a full one.
+
+        Ships only ``delta_shards`` (the changed keys since the chain tip)
+        when the chain can safely grow; otherwise — no chain yet, the
+        compaction policy would be violated, the owner moved since the
+        base was placed, or any chain replica was lost — the round is
+        promoted to a full save (``registered.shards`` must already hold
+        the current full partition) and the chain resets.
+        """
+        registered = self._get(state_name)
+        self._check_no_active_recovery(state_name)
+        delta_bytes = sum(s.size_bytes for s in delta_shards)
+        if not self._can_extend_chain(registered, delta_bytes):
+            return self.save(state_name, serial=serial)
+        chain = registered.chain
+        handle = sr3_save(
+            self.ctx,
+            registered.owner,
+            delta_shards,
+            registered.num_replicas,
+            self.placement,
+            serial=serial,
+            mode="delta",
+            chain_len=chain.length + 1,
+        )
+
+        def record(result) -> None:
+            chain.append_delta(delta_shards, result.plan)
+            registered.plan = ChainPlan(chain)
+            registered.last_save_duration = result.duration
+
+        handle.on_done(record)
+        return handle
+
+    def _can_extend_chain(self, registered: RegisteredState, delta_bytes: float) -> bool:
+        chain = registered.chain
+        if chain is None or not chain.links:
+            return False
+        if chain.needs_compaction(self.compaction, extra_delta_bytes=int(delta_bytes)):
+            return False
+        base_owner = chain.links[0].plan.owner
+        if base_owner is None or base_owner.node_id != registered.owner.node_id:
+            return False  # placement changed: the chain belongs to another owner
+        # Replica loss anywhere in the chain degrades redundancy below the
+        # configured factor — rewrite a full base rather than stack more
+        # deltas on a weakened foundation.
+        for link in chain.links:
+            for index in link.plan.shard_indexes():
+                if len(link.plan.providers_for(index)) < registered.num_replicas:
+                    return False
+        return True
+
+    def _collect_stale_replicas(self, stale, new_plan) -> None:
+        """Drop superseded-chain replicas that the new plan reuses nowhere.
+
+        ``stale`` is a list of ``(node, key)`` pairs captured before the
+        save was issued. Pairs the new placement re-wrote (same node, same
+        key) are kept — ``store_shard`` already replaced their payload.
+        """
+        kept = {
+            (placed.node.node_id, placed.replica.key)
+            for placed in new_plan.placements
+        }
+        for node, key in stale:
+            if (node.node_id, key) not in kept:
+                node.drop_shard(key)
 
     def save_all(self, serial: bool = True) -> List[SaveHandle]:
         return [self.save(name, serial=serial) for name in sorted(self.states)]
@@ -176,9 +284,11 @@ class RecoveryManager:
             replacement=replacement.name,
         )
         self.ctx.sim.metrics.counter("recovery.started").add(1, label=chosen.name)
-        return chosen.start(
+        handle = chosen.start(
             self.ctx, registered.plan, replacement, state_name, parent_span=parent_span
         )
+        self.active_recoveries[state_name] = handle
+        return handle
 
     def on_failures(self, failed: Sequence[DhtNode]) -> List[RecoveryHandle]:
         """React to (possibly simultaneous) node failures.
@@ -198,6 +308,21 @@ class RecoveryManager:
     def run(self, handles: List[RecoveryHandle]) -> List[RecoveryResult]:
         """Drive the simulation until the given recoveries complete."""
         return run_handles(self.ctx.sim, handles)
+
+    def recovered_snapshot(self, state_name: str) -> StateSnapshot:
+        """Rebuild the state image from whatever replicas survive.
+
+        Chain-aware: when the plan spans delta links, surviving segments
+        are replayed base-then-deltas in version order; a flat (single
+        base) plan merges exactly as before.
+        """
+        registered = self._get(state_name)
+        if registered.plan is None:
+            raise RecoveryError(f"state {state_name!r} was never saved")
+        shards = registered.plan.available_shards()
+        if any(s.chain_link for s in shards):
+            return reconstruct_chain(shards)
+        return merge_shards(shards)
 
     def _get(self, state_name: str) -> RegisteredState:
         try:

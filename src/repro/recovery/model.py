@@ -59,6 +59,13 @@ class CostModel:
     # Extra routing/lookup cost to locate an alternate replica after a
     # shard loss (Fig. 10's slight growth with simultaneous failures).
     replica_lookup_overhead: float = 0.25
+    # Chain-aware recovery: fixed coordination cost per delta link replayed
+    # (version handshake, tombstone pass scheduling)...
+    chain_link_setup: float = 0.03
+    # ...and delta replay runs slower than a base merge per byte: upserts
+    # hit existing buckets and tombstones force lookups, so each delta byte
+    # costs ``delta_replay_factor`` base-merge bytes.
+    delta_replay_factor: float = 1.2
     # CPU fraction a node spends while actively merging (Fig. 12a).
     merge_cpu_fraction: float = 0.75
     # CPU fraction spent while sending/receiving a bulk flow.
@@ -74,6 +81,19 @@ class CostModel:
 
     def partition_time(self, nbytes: float) -> float:
         return nbytes / self.partition_rate
+
+    def replay_time(self, delta_bytes: float, num_deltas: int) -> float:
+        """Time to replay ``num_deltas`` delta links totalling ``delta_bytes``.
+
+        Zero for chain-free recoveries, so every existing full-replica
+        code path is unchanged by the chain terms.
+        """
+        if num_deltas <= 0:
+            return 0.0
+        return (
+            self.chain_link_setup * num_deltas
+            + self.delta_replay_factor * delta_bytes / self.merge_rate
+        )
 
     def lookup_penalty(self, num_replicas: int, surviving: int) -> float:
         """DHT lookup cost to find alternate replicas after shard loss.

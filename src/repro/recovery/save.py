@@ -33,6 +33,12 @@ class SaveResult:
     replicas_written: int
     bytes_transferred: float
     plan: PlacementPlan
+    # "full" for a base rewrite, "delta" for an incremental round.
+    mode: str = "full"
+    # Bytes shipped as delta payload this round (0 for full saves).
+    delta_bytes: float = 0.0
+    # Chain length after this round landed (1 for a fresh base).
+    chain_len: int = 1
 
     @property
     def duration(self) -> float:
@@ -40,19 +46,27 @@ class SaveResult:
 
 
 class SaveHandle:
-    """A save round in flight; resolves to :class:`SaveResult`."""
+    """A save round in flight; resolves to :class:`SaveResult`.
+
+    Mirrors :class:`~repro.recovery.model.RecoveryHandle` semantics:
+    late ``on_done`` registrations fire immediately, resolving twice is an
+    error, and a failed save surfaces its exception from ``result``.
+    """
 
     def __init__(self, state_name: str) -> None:
         self.state_name = state_name
         self._result: Optional[SaveResult] = None
+        self._error: Optional[Exception] = None
         self._callbacks: List[Callable[[SaveResult], None]] = []
 
     @property
     def done(self) -> bool:
-        return self._result is not None
+        return self._result is not None or self._error is not None
 
     @property
     def result(self) -> SaveResult:
+        if self._error is not None:
+            raise self._error
         if self._result is None:
             raise RecoveryError(f"save of {self.state_name!r} has not finished")
         return self._result
@@ -64,9 +78,16 @@ class SaveHandle:
             self._callbacks.append(callback)
 
     def _resolve(self, result: SaveResult) -> None:
+        if self.done:
+            raise RecoveryError(f"save handle for {self.state_name!r} resolved twice")
         self._result = result
         for callback in self._callbacks:
             callback(result)
+
+    def _fail(self, error: Exception) -> None:
+        if self.done:
+            raise RecoveryError(f"save handle for {self.state_name!r} resolved twice")
+        self._error = error
 
 
 def sr3_save(
@@ -76,6 +97,8 @@ def sr3_save(
     num_replicas: int,
     placement,
     serial: bool = True,
+    mode: str = "full",
+    chain_len: int = 1,
 ) -> SaveHandle:
     """Start one save round; returns a handle resolving when all writes land.
 
@@ -86,9 +109,17 @@ def sr3_save(
     2. per replica: one network flow of the shard's bytes plus a fixed
        per-replica write overhead, serial or parallel,
     3. each arrival installs the replica into the target's shard store.
+
+    ``mode`` is ``"full"`` for a base round or ``"delta"`` for an
+    incremental round (shards are then :class:`DeltaShard` objects and
+    ``state_bytes`` is only the changed-key payload); ``chain_len`` is the
+    resulting chain length, carried through to the span and result so the
+    profiler can attribute save amplification.
     """
     if not shards:
         raise StateError("cannot save zero shards")
+    if mode not in ("full", "delta"):
+        raise StateError(f"unknown save mode {mode!r}; expected 'full' or 'delta'")
     from repro.state.partitioner import replicate
 
     cost = ctx.cost_model
@@ -100,6 +131,7 @@ def sr3_save(
     handle = SaveHandle(state_name)
     started_at = sim.now
     tracer = sim.tracer
+    delta_bytes = state_bytes if mode == "delta" else 0.0
     root_span = tracer.start(
         "recovery/save",
         category="recovery",
@@ -108,6 +140,9 @@ def sr3_save(
         bytes=state_bytes,
         num_replicas=num_replicas,
         serial=serial,
+        mode=mode,
+        delta_bytes=delta_bytes,
+        chain_len=chain_len,
     )
 
     partition_time = cost.partition_time(state_bytes)
@@ -142,6 +177,9 @@ def sr3_save(
                 replicas_written=progress["written"],
                 bytes_transferred=progress["bytes"],
                 plan=plan,
+                mode=mode,
+                delta_bytes=delta_bytes,
+                chain_len=chain_len,
             )
         )
 

@@ -56,12 +56,24 @@ class SelectionInputs:
     # The size above which a state counts as "large" (the paper's examples
     # put the star/line crossover between 32 and 64 MB).
     large_state_threshold: float = 32.0 * MB
+    # Version-chain shape of the saved state: how many links the recovery
+    # must fetch (1 = flat base) and how many of ``state_bytes`` are delta
+    # payload to replay after the base merge. Defaults describe a chain-free
+    # save, leaving every pre-chain prediction unchanged.
+    chain_links: int = 1
+    delta_bytes: float = 0.0
 
     def __post_init__(self) -> None:
         if self.state_bytes < 0:
             raise SelectionError("state size must be non-negative")
         if self.large_state_threshold <= 0:
             raise SelectionError("large_state_threshold must be positive")
+        if self.chain_links < 1:
+            raise SelectionError("chain_links must be at least 1")
+        if not 0 <= self.delta_bytes <= max(self.state_bytes, 0):
+            raise SelectionError(
+                "delta_bytes must lie between 0 and state_bytes"
+            )
 
 
 def select_mechanism(inputs: SelectionInputs) -> Mechanism:
@@ -174,15 +186,27 @@ def predict_recovery_seconds(
     size = inputs.state_bytes
     if mech is Mechanism.NONE or size <= 0:
         return 0.0
+    # Chain-fetch + replay terms: ``size`` covers every fetched segment
+    # (base + deltas); the base alone is hash-merged and installed, the
+    # delta payload replays on top, and per-segment setup multiplies by
+    # the number of links. All terms collapse to the flat-plan forms when
+    # chain_links == 1 and delta_bytes == 0.
+    delta = min(inputs.delta_bytes, size)
+    links = max(1, inputs.chain_links)
+    base = size - delta
+    replay = cost.replay_time(delta, links - 1)
     transfer = size / bw
-    install = cost.install_time(size)
+    install = cost.install_time(base)
     if mech is Mechanism.STAR:
-        shards = _predicted_shards(size)
+        # Merge setup covers base shards only; per-link setup for the
+        # delta rounds lives inside ``replay``.
+        shards = _predicted_shards(base)
         return (
             cost.detection_delay
             + transfer
-            + cost.merge_time(size)
+            + cost.merge_time(base)
             + cost.shard_setup * shards
+            + replay
             + install
         )
     if mech is Mechanism.LINE:
@@ -195,7 +219,7 @@ def predict_recovery_seconds(
             + cost.merge_time(size)
             + cost.line_redundant_factor * cost.merge_time(size * (length + 1) / 2.0)
         )
-        return cost.detection_delay + max(transfer, cpu) + install
+        return cost.detection_delay + max(transfer, cpu) + replay + install
     # TREE: build the per-shard aggregation trees, pay one handoff per
     # level, aggregate (range concatenation at the install rate), deliver.
     bits = recommended_tree_fanout_bits(size)
@@ -207,7 +231,8 @@ def predict_recovery_seconds(
         + height * cost.level_setup
         + transfer
         + cost.install_time(size)  # interior range-concat merges
-        + install
+        + cost.install_time(size)  # per-segment installs on the replacement
+        + replay
     )
 
 

@@ -111,10 +111,15 @@ class SpeculativeStarRecovery:
         total_bytes = float(
             sum(providers[i][0].replica.size_bytes for i in shard_indexes)
         )
+        # Version-chain shape of the plan (1 link / 0 bytes for flat plans).
+        chain_len = int(getattr(plan, "chain_length", 1))
+        delta_bytes = float(getattr(plan, "delta_bytes", 0.0))
         root_span.annotate(
             state_bytes=total_bytes,
             shards=len(shard_indexes),
             window=1 << self.fanout_bits,
+            chain_len=chain_len,
+            delta_bytes=delta_bytes,
         )
         state = {
             "arrived": set(),  # shard indices already merged
@@ -253,30 +258,47 @@ class SpeculativeStarRecovery:
         def start_merge() -> None:
             if handle.done:
                 return
-            merge = cost.merge_time(total_bytes) + cost.shard_setup * len(shard_indexes)
-            install = cost.install_time(total_bytes)
+            # Merge setup is per base shard; delta rounds pay their setup
+            # in ``replay_time``'s chain_link_setup term instead.
+            merge = cost.merge_time(total_bytes - delta_bytes) + cost.shard_setup * (
+                len(shard_indexes) // chain_len
+            )
+            replay = cost.replay_time(delta_bytes, chain_len - 1)
+            install = cost.install_time(total_bytes - delta_bytes)
             tracer.record(
                 "merge",
                 sim.now,
                 sim.now + merge,
                 category="recovery.merge",
                 parent=root_span,
-                bytes=total_bytes,
+                bytes=total_bytes - delta_bytes,
                 node=replacement.name,
             )
+            if replay > 0:
+                # Base-then-deltas replay before install, as in plain star.
+                tracer.record(
+                    "replay deltas",
+                    sim.now + merge,
+                    sim.now + merge + replay,
+                    category="recovery.replay",
+                    parent=root_span,
+                    bytes=delta_bytes,
+                    links=chain_len - 1,
+                    node=replacement.name,
+                )
             tracer.record(
                 "install",
-                sim.now + merge,
-                sim.now + merge + install,
+                sim.now + merge + replay,
+                sim.now + merge + replay + install,
                 category="recovery.install",
                 parent=root_span,
                 bytes=total_bytes,
                 node=replacement.name,
             )
             ctx.charge_cpu(
-                replacement, sim.now, merge + install, cost.merge_cpu_fraction
+                replacement, sim.now, merge + replay + install, cost.merge_cpu_fraction
             )
-            sim.schedule(merge + install, finish)
+            sim.schedule(merge + replay + install, finish)
 
         def finish() -> None:
             if handle.done:

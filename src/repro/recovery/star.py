@@ -96,8 +96,16 @@ class StarRecovery:
             )
 
         total_bytes = float(sum(a["placed"].replica.size_bytes for a in assignments))
+        # Chain-aware plans expose how many version links the segments span
+        # and how many of the fetched bytes are delta payload to replay.
+        chain_len = int(getattr(plan, "chain_length", 1))
+        delta_bytes = float(getattr(plan, "delta_bytes", 0.0))
         root_span.annotate(
-            state_bytes=total_bytes, shards=len(assignments), window=self.window
+            state_bytes=total_bytes,
+            shards=len(assignments),
+            window=self.window,
+            chain_len=chain_len,
+            delta_bytes=delta_bytes,
         )
         progress = {"next": 0, "arrived": 0, "bytes": 0.0}
         policy = self.retry_policy
@@ -223,34 +231,54 @@ class StarRecovery:
             # critique of star). The full hash-table rebuild runs on its
             # CPU only after the last shard lands, then the recovered
             # state is installed.
-            merge = cost.merge_time(total_bytes) + cost.shard_setup * len(assignments)
-            install = cost.install_time(total_bytes)
+            # Per-shard merge setup applies to the base shards only: delta
+            # segments are replayed, and their per-round setup is the
+            # ``chain_link_setup`` term inside ``replay_time``.
+            merge = cost.merge_time(total_bytes - delta_bytes) + cost.shard_setup * (
+                len(assignments) // chain_len
+            )
+            replay = cost.replay_time(delta_bytes, chain_len - 1)
+            install = cost.install_time(total_bytes - delta_bytes)
             tracer.record(
                 "merge",
                 sim.now,
                 sim.now + merge,
                 category="recovery.merge",
                 parent=root_span,
-                bytes=total_bytes,
+                bytes=total_bytes - delta_bytes,
                 node=replacement.name,
             )
+            if replay > 0:
+                # Base-then-deltas: replay every delta link in version
+                # order on top of the merged base (upserts + tombstones).
+                tracer.record(
+                    "replay deltas",
+                    sim.now + merge,
+                    sim.now + merge + replay,
+                    category="recovery.replay",
+                    parent=root_span,
+                    bytes=delta_bytes,
+                    links=chain_len - 1,
+                    node=replacement.name,
+                )
             tracer.record(
                 "install",
-                sim.now + merge,
-                sim.now + merge + install,
+                sim.now + merge + replay,
+                sim.now + merge + replay + install,
                 category="recovery.install",
                 parent=root_span,
                 bytes=total_bytes,
                 node=replacement.name,
             )
-            ctx.charge_cpu(replacement, sim.now, merge + install, cost.merge_cpu_fraction)
+            busy = merge + replay + install
+            ctx.charge_cpu(replacement, sim.now, busy, cost.merge_cpu_fraction)
             ctx.charge_memory(
                 replacement,
                 sim.now,
-                merge + install,
+                busy,
                 total_bytes * cost.buffer_memory_factor,
             )
-            sim.schedule(merge + install, finish)
+            sim.schedule(busy, finish)
 
         def finish() -> None:
             if handle.done:

@@ -132,7 +132,15 @@ class TreeRecovery:
                 }
             )
 
-        root_span.annotate(state_bytes=float(total_bytes), shards=len(trees))
+        # Version-chain shape of the plan (1 link / 0 bytes for flat plans).
+        chain_len = int(getattr(plan, "chain_length", 1))
+        delta_bytes = float(getattr(plan, "delta_bytes", 0.0))
+        root_span.annotate(
+            state_bytes=float(total_bytes),
+            shards=len(trees),
+            chain_len=chain_len,
+            delta_bytes=delta_bytes,
+        )
         progress = {
             "bytes": 0.0,
             "delivered": 0,
@@ -285,7 +293,26 @@ class TreeRecovery:
                     return
                 progress["delivered"] += 1
                 if progress["delivered"] == len(trees):
-                    finish()
+                    replay = cost.replay_time(delta_bytes, chain_len - 1)
+                    if replay > 0:
+                        # All segments landed: replay delta links in
+                        # version order before declaring the state live.
+                        tracer.record(
+                            "replay deltas",
+                            sim.now,
+                            sim.now + replay,
+                            category="recovery.replay",
+                            parent=root_span,
+                            bytes=delta_bytes,
+                            links=chain_len - 1,
+                            node=replacement.name,
+                        )
+                        ctx.charge_cpu(
+                            replacement, sim.now, replay, cost.merge_cpu_fraction
+                        )
+                        sim.schedule(replay, finish)
+                    else:
+                        finish()
 
             def aborted(_flow) -> None:
                 deliver_span.finish(aborted=True)

@@ -8,8 +8,18 @@ different sets of available shards reconstruct the lost state in parallel.
 
 from repro.state.version import StateVersion, VersionClock
 from repro.state.store import StateSnapshot, StateStore
-from repro.state.shard import Shard, ShardReplica, SubShard
+from repro.state.shard import DeltaShard, Shard, ShardReplica, SubShard
 from repro.state.partitioner import merge_shards, partition_snapshot, partition_synthetic
+from repro.state.chain import (
+    ChainLink,
+    ChainPlan,
+    CompactionPolicy,
+    VersionChain,
+    chain_digest,
+    diff_snapshots,
+    partition_delta,
+    reconstruct_chain,
+)
 from repro.state.placement import (
     HashPlacement,
     LeafSetPlacement,
@@ -22,12 +32,21 @@ __all__ = [
     "VersionClock",
     "StateSnapshot",
     "StateStore",
+    "DeltaShard",
     "Shard",
     "ShardReplica",
     "SubShard",
     "merge_shards",
     "partition_snapshot",
     "partition_synthetic",
+    "ChainLink",
+    "ChainPlan",
+    "CompactionPolicy",
+    "VersionChain",
+    "chain_digest",
+    "diff_snapshots",
+    "partition_delta",
+    "reconstruct_chain",
     "HashPlacement",
     "LeafSetPlacement",
     "PlacedShard",

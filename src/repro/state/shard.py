@@ -7,16 +7,30 @@ tree-structured mechanism further splits each shard into sub-shards
 granularity. Shards either carry real entries (streaming-engine states) or
 are *synthetic* — metadata plus a byte size — so experiments can model the
 paper's multi-megabyte states without materializing them.
+
+Incremental saves extend the model with :class:`DeltaShard`: a shard whose
+payload is only the keys that changed (plus tombstones for deletions)
+since a *parent* version. A recovered state is then a version chain — one
+base shard set plus zero or more delta shard sets applied in version
+order (see :mod:`repro.state.chain`).
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ShardError
 from repro.state.version import StateVersion
+
+#: Fixed serialization overhead of a delta shard (parent-version header,
+#: link metadata). Keeps zero-change deltas from producing zero-byte
+#: network flows.
+DELTA_HEADER_BYTES = 64
+
+#: Approximate wire footprint of one deletion tombstone.
+DELTA_TOMBSTONE_BYTES = 24
 
 
 def _entries_checksum(entries: Dict[Any, Any]) -> str:
@@ -31,18 +45,30 @@ def _entries_checksum(entries: Dict[Any, Any]) -> str:
 
 @dataclass(frozen=True)
 class ReplicaKey:
-    """Globally unique identity of one stored shard replica."""
+    """Globally unique identity of one stored shard replica.
+
+    ``link`` distinguishes chain positions: base shards store at link 0,
+    the k-th delta round at link k — so a delta replica never collides
+    with the base replica of the same shard index on the same node.
+    """
 
     state_name: str
     shard_index: int
     replica_index: int
+    link: int = 0
 
     def __repr__(self) -> str:
-        return f"{self.state_name}/s{self.shard_index}.r{self.replica_index}"
+        suffix = f".d{self.link}" if self.link else ""
+        return f"{self.state_name}/s{self.shard_index}.r{self.replica_index}{suffix}"
 
 
 class Shard:
     """One horizontal partition of a state snapshot."""
+
+    #: Chain position: 0 for base shards, k for the k-th delta round.
+    chain_link: int = 0
+    #: Version this shard's payload diffs against (None for base shards).
+    parent_version: Optional[StateVersion] = None
 
     def __init__(
         self,
@@ -129,6 +155,98 @@ class Shard:
         )
 
 
+class DeltaShard(Shard):
+    """A shard carrying only the keys changed since a parent version.
+
+    The payload is the changed/inserted entries for this shard index plus
+    tombstones (``deletions``) for keys removed since ``parent_version``.
+    Applying a delta means: upsert every entry, then drop every tombstoned
+    key. Synthetic delta shards model size only, like synthetic bases.
+    """
+
+    def __init__(
+        self,
+        state_name: str,
+        index: int,
+        num_shards: int,
+        version: StateVersion,
+        parent_version: StateVersion,
+        chain_link: int,
+        entries: Optional[Dict[Any, Any]] = None,
+        deletions: Tuple[Any, ...] = (),
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        if chain_link < 1:
+            raise ShardError("delta shards start at chain link 1")
+        if not parent_version < version:
+            raise ShardError(
+                f"delta version {version!r} must follow parent {parent_version!r}"
+            )
+        self.parent_version = parent_version
+        self.chain_link = chain_link
+        self.deletions = tuple(sorted(deletions, key=repr))
+        if size_bytes is None and entries is not None:
+            from repro.state.store import estimate_entry_bytes
+
+            size_bytes = (
+                sum(estimate_entry_bytes(k, v) for k, v in entries.items())
+                + DELTA_TOMBSTONE_BYTES * len(self.deletions)
+                + DELTA_HEADER_BYTES
+            )
+        super().__init__(
+            state_name, index, num_shards, version,
+            entries=entries, size_bytes=size_bytes,
+        )
+        # Fold the delta-specific identity (parent link, tombstones) into
+        # the checksum so two deltas with equal entries but different
+        # lineage never alias.
+        digest = hashlib.sha256(self.checksum.encode("utf-8"))
+        digest.update(f"|parent={self.parent_version!r}|link={self.chain_link}".encode())
+        for key in self.deletions:
+            digest.update(b"|del=")
+            digest.update(repr(key).encode("utf-8"))
+        self.checksum = digest.hexdigest()
+
+    @classmethod
+    def synthetic_delta(
+        cls,
+        state_name: str,
+        index: int,
+        num_shards: int,
+        version: StateVersion,
+        parent_version: StateVersion,
+        chain_link: int,
+        size_bytes: int,
+    ) -> "DeltaShard":
+        """A size-only delta shard for large-state experiments."""
+        if size_bytes < 0:
+            raise ShardError("delta shard size must be non-negative")
+        return cls(
+            state_name, index, num_shards, version, parent_version,
+            chain_link, entries=None, size_bytes=size_bytes,
+        )
+
+    def verify(self) -> bool:
+        """Recompute and compare the checksum (materialized deltas only)."""
+        if self.entries is None:
+            return True
+        digest = hashlib.sha256(_entries_checksum(self.entries).encode("utf-8"))
+        digest.update(f"|parent={self.parent_version!r}|link={self.chain_link}".encode())
+        for key in self.deletions:
+            digest.update(b"|del=")
+            digest.update(repr(key).encode("utf-8"))
+        return digest.hexdigest() == self.checksum
+
+    def __repr__(self) -> str:
+        kind = "synthetic" if self.synthetic else (
+            f"{len(self.entries)} entries, {len(self.deletions)} tombstones"
+        )
+        return (
+            f"DeltaShard({self.state_name!r}, {self.index}/{self.num_shards}, "
+            f"link {self.chain_link}, {self.size_bytes}B, {kind})"
+        )
+
+
 class SubShard:
     """A fraction of one shard (``s_{i,j}`` in Fig. 5)."""
 
@@ -178,7 +296,12 @@ class ShardReplica:
 
     @property
     def key(self) -> ReplicaKey:
-        return ReplicaKey(self.shard.state_name, self.shard.index, self.replica_index)
+        return ReplicaKey(
+            self.shard.state_name,
+            self.shard.index,
+            self.replica_index,
+            link=self.shard.chain_link,
+        )
 
     @property
     def size_bytes(self) -> int:

@@ -9,7 +9,7 @@ the immutable captured image a save round partitions into shards.
 from __future__ import annotations
 
 import sys
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Set, Tuple
 
 from repro.errors import StateError
 from repro.state.version import StateVersion, VersionClock
@@ -76,6 +76,10 @@ class StateStore:
         self._entries: Dict[Any, Any] = {}
         self._size_bytes = 0
         self.clock = VersionClock()
+        # Changed-key tracking since the last mark_clean() — the source of
+        # truth incremental saves diff against (see repro.state.chain).
+        self._dirty: Set[Any] = set()
+        self._deleted: Set[Any] = set()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -94,6 +98,8 @@ class StateStore:
             self._size_bytes -= estimate_entry_bytes(key, self._entries[key])
         self._entries[key] = value
         self._size_bytes += estimate_entry_bytes(key, value)
+        self._dirty.add(key)
+        self._deleted.discard(key)
 
     def get(self, key: Any, default: Any = None) -> Any:
         return self._entries.get(key, default)
@@ -110,6 +116,8 @@ class StateStore:
             return False
         self._size_bytes -= estimate_entry_bytes(key, self._entries[key])
         del self._entries[key]
+        self._deleted.add(key)
+        self._dirty.discard(key)
         return True
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
@@ -119,8 +127,23 @@ class StateStore:
         return iter(self._entries.keys())
 
     def clear(self) -> None:
+        self._deleted |= set(self._entries)
+        self._dirty.clear()
         self._entries.clear()
         self._size_bytes = 0
+
+    def dirty_keys(self) -> Set[Any]:
+        """Keys inserted or updated since the last :meth:`mark_clean`."""
+        return set(self._dirty)
+
+    def deleted_keys(self) -> Set[Any]:
+        """Keys removed since the last :meth:`mark_clean`."""
+        return set(self._deleted)
+
+    def mark_clean(self) -> None:
+        """Reset change tracking (called once a save round captured it)."""
+        self._dirty.clear()
+        self._deleted.clear()
 
     def snapshot(self, timestamp: float) -> StateSnapshot:
         """Capture an immutable image stamped with the next version."""
@@ -136,6 +159,8 @@ class StateStore:
         self._size_bytes = sum(
             estimate_entry_bytes(k, v) for k, v in self._entries.items()
         )
+        self._dirty.clear()
+        self._deleted.clear()
         self.clock.observe(snapshot.version)
 
     def __repr__(self) -> str:

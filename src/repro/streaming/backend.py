@@ -18,8 +18,9 @@ from repro.dht.node import DhtNode
 from repro.errors import RecoveryError, StateError
 from repro.recovery.manager import MechanismImpl, RecoveryManager
 from repro.recovery.model import RecoveryResult
-from repro.state.partitioner import merge_shards, partition_snapshot
-from repro.state.store import StateStore
+from repro.state.chain import partition_delta
+from repro.state.partitioner import partition_snapshot
+from repro.state.store import StateSnapshot, StateStore
 
 
 @dataclass
@@ -33,6 +34,9 @@ class ProtectedTask:
     num_replicas: int
     registered: bool = False
     save_rounds: int = 0
+    # The image the last landed save round captured — the parent every
+    # incremental round diffs against.
+    last_snapshot: Optional[StateSnapshot] = None
 
 
 class SR3StateBackend:
@@ -76,22 +80,67 @@ class SR3StateBackend:
 
     # ----------------------------------------------------------------- save
 
-    def save_task(self, task_id: str, serial: bool = True):
-        """Run one save round for a task; returns the SaveHandle."""
+    def save_task(self, task_id: str, serial: bool = True, incremental: bool = True):
+        """Run one save round for a task; returns the SaveHandle.
+
+        When ``incremental`` and a previous round has landed, only the
+        keys the store dirtied since that round are shipped, as a
+        :class:`~repro.state.shard.DeltaShard` round appended to the
+        state's version chain. The manager falls back to a full save on
+        its own when the chain needs compaction or lost replicas, so the
+        full partition is always registered first.
+        """
         task = self._get(task_id)
-        snapshot = task.store.snapshot(self.sim.now)
+        store = task.store
+        dirty = store.dirty_keys()
+        deleted = store.deleted_keys()
+        snapshot = store.snapshot(self.sim.now)
+        # Changes after this snapshot belong to the next round.
+        store.mark_clean()
         shards = partition_snapshot(snapshot, task.num_shards)
         if not task.registered:
             self.manager.register(task.node, shards, task.num_replicas)
             task.registered = True
         else:
-            self.manager.refresh_shards(task.store.name, shards)
+            self.manager.refresh_shards(store.name, shards)
         task.save_rounds += 1
-        return self.manager.save(task.store.name, serial=serial)
 
-    def save_all(self, serial: bool = True):
+        chain = self.manager.states[store.name].chain
+        parent = task.last_snapshot
+        if (
+            incremental
+            and parent is not None
+            and chain is not None
+            and chain.links
+            and chain.tip_version == parent.version
+        ):
+            changed = {key: snapshot.get(key) for key in dirty if key in snapshot}
+            deletions = [key for key in deleted if key in parent]
+            delta_shards = partition_delta(
+                store.name,
+                changed,
+                deletions,
+                task.num_shards,
+                version=snapshot.version,
+                parent_version=parent.version,
+                chain_link=chain.length,
+            )
+            handle = self.manager.save_delta(store.name, delta_shards, serial=serial)
+        else:
+            handle = self.manager.save(store.name, serial=serial)
+
+        def landed(_result) -> None:
+            task.last_snapshot = snapshot
+
+        handle.on_done(landed)
+        return handle
+
+    def save_all(self, serial: bool = True, incremental: bool = True):
         """Save every protected task; returns the handles."""
-        return [self.save_task(task_id, serial=serial) for task_id in sorted(self._tasks)]
+        return [
+            self.save_task(task_id, serial=serial, incremental=incremental)
+            for task_id in sorted(self._tasks)
+        ]
 
     # -------------------------------------------------------------- recovery
 
@@ -120,11 +169,7 @@ class SR3StateBackend:
         return store, result
 
     def _rebuild_store(self, task: ProtectedTask) -> StateStore:
-        registered = self.manager.states[task.store.name]
-        if registered.plan is None:
-            raise RecoveryError(f"no placement plan for {task.store.name!r}")
-        shards = registered.plan.available_shards()
-        snapshot = merge_shards(shards)
+        snapshot = self.manager.recovered_snapshot(task.store.name)
         store = StateStore(task.store.name)
         store.restore(snapshot)
         task.store = store

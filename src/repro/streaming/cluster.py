@@ -293,12 +293,16 @@ class LocalCluster:
             protected.append(task_id)
         return protected
 
-    def checkpoint(self, serial: bool = True) -> None:
-        """Save all protected task states and run the sim to completion."""
+    def checkpoint(self, serial: bool = True, incremental: bool = True) -> None:
+        """Save all protected task states and run the sim to completion.
+
+        ``incremental`` lets rounds after the first ship only dirtied keys
+        as delta shards (pass False to force full base rewrites).
+        """
         if self.backend is None:
             raise StreamRuntimeError("no SR3 backend attached to this cluster")
         span = self._tracer.start("streaming/checkpoint", category="streaming.save")
-        handles = self.backend.save_all(serial=serial)
+        handles = self.backend.save_all(serial=serial, incremental=incremental)
         self.backend.sim.run_until_idle()
         span.finish(states=len(handles))
         self.backend.sim.metrics.counter("streaming.checkpoints").add(1)

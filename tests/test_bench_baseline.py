@@ -128,11 +128,19 @@ class TestCliIntegration:
         assert main(["fig9a", "--baseline", str(baseline)]) == 3
         assert "REGRESSION" in capsys.readouterr().err
 
-    def test_update_baseline_rewrites(self, tmp_path, capsys):
+    def test_update_baseline_merges(self, tmp_path, capsys):
+        # One baseline file carries keys from several experiments (fig8a,
+        # saveamp, ...), so an update from one run must overwrite its own
+        # keys while leaving the other experiments' keys untouched.
         baseline = tmp_path / "BENCH_sr3.json"
-        write_baseline(str(baseline), {"stale/key#0": 1.0})
+        write_baseline(
+            str(baseline),
+            {"other-experiment/key#0": 1.0, "sim-0/star/app/state#0": 99.0},
+        )
         assert main(["fig9a", "--baseline", str(baseline), "--update-baseline"]) == 0
-        assert "stale/key#0" not in load_baseline(str(baseline))
+        merged = load_baseline(str(baseline))
+        assert merged["other-experiment/key#0"] == 1.0
+        assert merged["sim-0/star/app/state#0"] != 99.0
 
     def test_metrics_out(self, tmp_path, capsys):
         path = tmp_path / "metrics.json"

@@ -21,9 +21,27 @@ class TestParser:
 class TestMain:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
-        out = capsys.readouterr().out.split()
-        assert "fig8a" in out and "table1" in out
-        assert set(out) == set(EXPERIMENTS)
+        out = capsys.readouterr().out
+        lines = {line.strip() for line in out.splitlines()}
+        assert "experiments:" in lines
+        assert "chaos scenarios:" in lines
+        assert "chaos campaigns:" in lines
+        for name in EXPERIMENTS:
+            assert name in lines
+        assert "saveamp" in lines
+        assert "crash-wave" in lines
+        assert "mid-recovery-recrash" in lines
+        assert "smoke (3 scenarios)" in lines
+
+    def test_list_includes_baseline_keys(self, tmp_path, capsys):
+        from repro.bench.baseline import write_baseline
+
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), {"sim-0/star/app/state#0": 1.5})
+        assert main(["--list", "--baseline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"baseline keys ({path}):" in out
+        assert "sim-0/star/app/state#0" in out
 
     def test_no_args_lists(self, capsys):
         assert main([]) == 0

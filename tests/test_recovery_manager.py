@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.bench.harness import saved_delta
 from repro.errors import RecoveryError, StateError
 from repro.recovery.line import LineRecovery
 from repro.recovery.star import StarRecovery
 from repro.recovery.tree import TreeRecovery
+from repro.state.chain import ChainPlan, CompactionPolicy
 from repro.state.partitioner import partition_synthetic
 from repro.state.version import StateVersion
 from repro.util.sizes import MB
@@ -147,3 +149,99 @@ class TestMultipleFailures:
         assert len(results) == 4
         # Concurrent recoveries finish; each took nonzero simulated time.
         assert all(r.duration > 0 for r in results)
+
+
+class TestChainSaves:
+    def test_delta_round_extends_chain(self, world):
+        registered, _ = world.save_synthetic()
+        _, result = saved_delta(world, "app/state", 128 * 1024)
+        assert result.mode == "delta"
+        assert result.chain_len == 2
+        assert registered.chain.length == 2
+        assert isinstance(registered.plan, ChainPlan)
+
+    def test_full_save_resets_chain(self, world):
+        registered, _ = world.save_synthetic()
+        saved_delta(world, "app/state", 128 * 1024)
+        handle = world.manager.save("app/state")
+        world.sim.run_until_idle()
+        assert handle.result.mode == "full"
+        assert registered.chain.length == 1
+        assert not isinstance(registered.plan, ChainPlan)
+
+    def test_compaction_length_promotes_delta_to_full(self, world):
+        world.manager.compaction = CompactionPolicy(max_chain_len=2)
+        registered, _ = world.save_synthetic()
+        _, first = saved_delta(world, "app/state", 64 * 1024)
+        assert first.mode == "delta"
+        _, second = saved_delta(world, "app/state", 64 * 1024)
+        assert second.mode == "full"
+        assert registered.chain.length == 1
+
+    def test_compaction_ratio_promotes_delta_to_full(self, world):
+        # 5 MB of deltas against an 8 MB base overshoots the default 0.5
+        # ratio, so the round is promoted before it ships.
+        world.save_synthetic(size=8 * MB)
+        _, result = saved_delta(world, "app/state", 5 * MB)
+        assert result.mode == "full"
+
+    def test_replica_loss_promotes_delta_to_full(self, world):
+        registered, _ = world.save_synthetic()
+        saved_delta(world, "app/state", 64 * 1024)
+        holder = next(
+            placed.node
+            for link in registered.chain.links
+            for placed in link.plan.placements
+            if placed.node is not registered.owner
+        )
+        world.overlay.fail_node(holder)
+        _, result = saved_delta(world, "app/state", 64 * 1024)
+        assert result.mode == "full"
+        assert registered.chain.length == 1
+
+    def test_recovered_snapshot_replays_chain(self, world):
+        registered, _ = world.save_synthetic(size=8 * MB)
+        saved_delta(world, "app/state", 64 * 1024)
+        snapshot = world.manager.recovered_snapshot("app/state")
+        assert snapshot.size_bytes == 8 * MB
+        assert snapshot.version == registered.chain.tip_version
+
+    def test_chain_recovery_fetches_every_segment(self, world):
+        registered, _ = world.save_synthetic()
+        saved_delta(world, "app/state", 64 * 1024)
+        saved_delta(world, "app/state", 64 * 1024)
+        assert registered.chain.length == 3
+        world.fail_owner("app/state")
+        result = world.manager.run([world.manager.recover("app/state")])[0]
+        assert result.shards_recovered == 3 * 4
+
+
+class TestSaveRecoveryInterlock:
+    def test_save_rejected_while_recovery_in_flight(self, world):
+        world.save_synthetic()
+        handle = world.manager.recover(
+            "app/state", replacement=world.overlay.nodes[5]
+        )
+        assert not handle.done
+        with pytest.raises(RecoveryError, match="still in flight"):
+            world.manager.save("app/state")
+        world.manager.run([handle])
+        # Once the recovery resolves, save rounds are accepted again.
+        saved = world.manager.save("app/state")
+        world.sim.run_until_idle()
+        assert saved.result.mode == "full"
+
+    def test_delta_save_rejected_while_recovery_in_flight(self, world):
+        world.save_synthetic()
+        saved_delta(world, "app/state", 64 * 1024)
+        handle = world.manager.recover(
+            "app/state", replacement=world.overlay.nodes[5]
+        )
+        with pytest.raises(RecoveryError, match="still in flight"):
+            saved_delta(world, "app/state", 64 * 1024)
+        world.manager.run([handle])
+
+    def test_reregister_after_save_rejected(self, world):
+        world.save_synthetic("a/s")
+        with pytest.raises(StateError, match="already registered"):
+            world.manager.register(world.overlay.nodes[1], shards_for("a/s"), 2)

@@ -119,3 +119,47 @@ class TestBuildMechanism:
             )
         )
         assert isinstance(mech, TreeRecovery)
+
+
+class TestChainAwarePrediction:
+    def test_flat_defaults_describe_a_chain_free_save(self):
+        inputs = SelectionInputs(state_bytes=8 * MB)
+        assert inputs.chain_links == 1
+        assert inputs.delta_bytes == 0.0
+
+    def test_chain_fields_validated(self):
+        with pytest.raises(SelectionError):
+            SelectionInputs(state_bytes=8 * MB, chain_links=0)
+        with pytest.raises(SelectionError):
+            SelectionInputs(state_bytes=8 * MB, delta_bytes=9 * MB)
+        with pytest.raises(SelectionError):
+            SelectionInputs(state_bytes=8 * MB, delta_bytes=-1.0)
+
+    @pytest.mark.parametrize("mechanism", ("star", "line", "tree"))
+    def test_replay_terms_increase_prediction(self, mechanism):
+        from repro.recovery.selection import predict_recovery_seconds
+
+        flat = SelectionInputs(state_bytes=64 * MB)
+        chained = SelectionInputs(
+            state_bytes=64 * MB, chain_links=4, delta_bytes=8 * MB
+        )
+        assert predict_recovery_seconds(mechanism, chained) > predict_recovery_seconds(
+            mechanism, flat
+        )
+
+    def test_longer_chains_predict_slower_recovery(self):
+        from repro.recovery.selection import predict_recovery_seconds
+
+        predictions = [
+            predict_recovery_seconds(
+                "star",
+                SelectionInputs(
+                    state_bytes=16 * MB,
+                    chain_links=links,
+                    delta_bytes=(links - 1) * MB,
+                ),
+            )
+            for links in (1, 2, 4)
+        ]
+        assert predictions == sorted(predictions)
+        assert predictions[0] < predictions[2]
