@@ -39,6 +39,11 @@ def _fig11(args) -> object:
     return exp.fig11_load_balance(args.apps, num_nodes=args.nodes, seed=args.seed)
 
 
+def _scale(args) -> object:
+    counts = tuple(args.scale_nodes) if args.scale_nodes else (512, 1024, 2048, 5000)
+    return exp.scale_overlay(node_counts=counts, seed=args.seed)
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": lambda args: exp.table1_overview(),
     "fig8a": lambda args: exp.fig8a_recovery_no_constraint(seed=args.seed),
@@ -62,6 +67,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "selection": lambda args: exp.ablation_selection_validation(seed=args.seed),
     "baselines": lambda args: exp.baseline_matrix(seed=args.seed),
     "saveamp": lambda args: exp.saveamp_wordcount(seed=args.seed),
+    "scale": _scale,
 }
 
 
@@ -85,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--apps", type=int, default=100, help="applications for fig11")
     parser.add_argument("--nodes", type=int, default=1000, help="overlay size for fig11")
+    parser.add_argument(
+        "--scale-nodes",
+        type=int,
+        action="append",
+        metavar="N",
+        help="overlay size(s) for the scale experiment (repeatable; "
+        "default: 512 1024 2048 5000)",
+    )
     parser.add_argument(
         "--campaign",
         metavar="NAME",

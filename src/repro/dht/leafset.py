@@ -26,6 +26,9 @@ class LeafSet:
         self.size = size
         self._clockwise: List["DhtNode"] = []
         self._counter: List["DhtNode"] = []
+        # Member id values for O(1) `contains` — the overlay's repair scan
+        # asks every node whether it held the failed one.
+        self._ids: set = set()
 
     @property
     def half(self) -> int:
@@ -50,16 +53,19 @@ class LeafSet:
         by_ccw = sorted(alive, key=lambda n: n.node_id.clockwise_distance(self.owner_id))
         self._clockwise = by_cw[: self.half]
         self._counter = by_ccw[: self.half]
+        self._ids = {n.node_id.value for n in self._clockwise}
+        self._ids.update(n.node_id.value for n in self._counter)
 
     def remove(self, node_id: NodeId) -> bool:
         """Drop a failed member; returns True if it was present."""
         before = len(self._clockwise) + len(self._counter)
         self._clockwise = [n for n in self._clockwise if n.node_id != node_id]
         self._counter = [n for n in self._counter if n.node_id != node_id]
+        self._ids.discard(node_id.value)
         return len(self._clockwise) + len(self._counter) != before
 
     def contains(self, node_id: NodeId) -> bool:
-        return any(n.node_id == node_id for n in self.members())
+        return node_id.value in self._ids
 
     def covers(self, key: NodeId) -> bool:
         """True when ``key`` falls inside the span of the leaf set.

@@ -12,6 +12,7 @@ overlays.
 
 from __future__ import annotations
 
+import bisect
 import math
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -89,11 +90,10 @@ class Overlay:
         self._index_cache = None
         # Wire the newcomer fully, then refresh the ring neighbours it
         # landed between (its own leaf-set members must adopt it).
-        alive = self.alive_nodes()
-        node.leaf_set.rebuild(alive)
-        node.routing_table.refresh(alive)
+        node.leaf_set.rebuild(self._ring_pool(node))
+        node.routing_table.refresh(self.alive_nodes())
         for neighbour in node.leaf_set.members():
-            neighbour.leaf_set.rebuild(alive)
+            neighbour.leaf_set.rebuild(self._ring_pool(neighbour))
             neighbour.routing_table.add(node)
         self.sim.tracer.instant(
             f"node joined {node.name}", category="overlay.join", node=node.name
@@ -157,8 +157,6 @@ class Overlay:
         changes) so placement of hundreds of thousands of shard replicas
         on 5,000-node overlays stays O(log N) per lookup.
         """
-        import bisect
-
         values, ordered = self._sorted_index()
         if not ordered:
             raise OverlayError("overlay has no alive nodes")
@@ -193,8 +191,38 @@ class Overlay:
     def leaf_set_of(self, node: DhtNode, refresh: bool = False) -> List[DhtNode]:
         """Alive leaf-set members of ``node`` (optionally re-wired first)."""
         if refresh:
-            node.leaf_set.rebuild(self.alive_nodes())
+            node.leaf_set.rebuild(self._ring_pool(node))
         return [n for n in node.leaf_set.members() if n.alive]
+
+    def _ring_pool(self, owner: DhtNode) -> List[DhtNode]:
+        """A candidate pool equivalent to the full alive set for
+        ``owner.leaf_set.rebuild``: the nearest ``half`` alive nodes on
+        each side of the ring, found by walking outward from the owner's
+        position in the sorted index instead of sorting all N nodes.
+        ``rebuild`` on this pool selects exactly the members it would
+        select from :meth:`alive_nodes`."""
+        half = owner.leaf_set.half
+        values, ordered = self._sorted_index()
+        n = len(ordered)
+        position = bisect.bisect_left(values, owner.node_id.value)
+        pool: List[DhtNode] = []
+        seen = {owner.node_id.value}
+        for direction in (1, -1):
+            found = 0
+            i = position
+            for _ in range(n - 1):
+                if found >= half:
+                    break
+                i = (i + direction) % n
+                candidate = ordered[i]
+                if not candidate.alive:
+                    continue
+                value = candidate.node_id.value
+                if value not in seen:
+                    seen.add(value)
+                    pool.append(candidate)
+                found += 1
+        return pool
 
     # ---------------------------------------------------------------- routing
 
@@ -283,13 +311,12 @@ class Overlay:
         self.sim.metrics.counter("overlay.failures").add(1)
         if not repair:
             return
-        alive = self.alive_nodes()
         for holder in self._leafset_holders(node.node_id):
             if not holder.alive:
                 continue
             holder.leaf_set.remove(node.node_id)
             holder.routing_table.remove(node.node_id)
-            holder.leaf_set.rebuild(alive)
+            holder.leaf_set.rebuild(self._ring_pool(holder))
             # One request/response pair with a leaf-set edge node.
             edge = holder.leaf_set.members()[-1] if holder.leaf_set.members() else None
             if edge is not None:

@@ -45,7 +45,7 @@ class RoutingTable:
         if node.node_id == self.owner_id:
             return False
         row = self.owner_id.shared_prefix_length(node.node_id, self.bits_per_digit)
-        col = node.node_id.digits(self.bits_per_digit)[row]
+        col = node.node_id.digit(row, self.bits_per_digit)
         slots = self._rows.setdefault(row, {})
         if col in slots:
             return False
@@ -55,7 +55,7 @@ class RoutingTable:
     def remove(self, node_id: NodeId) -> bool:
         """Drop a (failed) node from the table; returns True if present."""
         row = self.owner_id.shared_prefix_length(node_id, self.bits_per_digit)
-        col = node_id.digits(self.bits_per_digit)[row]
+        col = node_id.digit(row, self.bits_per_digit)
         slots = self._rows.get(row)
         if slots and col in slots and slots[col].node_id == node_id:
             del slots[col]
@@ -67,7 +67,7 @@ class RoutingTable:
     def next_hop(self, key: NodeId) -> Optional["DhtNode"]:
         """The routing-table entry that shares one more digit with ``key``."""
         row = self.owner_id.shared_prefix_length(key, self.bits_per_digit)
-        col = key.digits(self.bits_per_digit)[row]
+        col = key.digit(row, self.bits_per_digit)
         candidate = self.entry(row, col)
         if candidate is not None and candidate.alive:
             return candidate

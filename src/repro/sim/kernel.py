@@ -6,23 +6,42 @@ Everything in the reproduction that needs time — network transfers, merge
 CPU costs, DHT maintenance pings, failure injection — is scheduled here, so
 experiment latencies are exact simulated seconds rather than noisy wall
 time.
+
+Scale fast paths (all exactly order-preserving):
+
+* ``pending`` is a live counter maintained on schedule/cancel/pop instead
+  of an O(queue) scan — it sits on the ``run()`` epilogue and telemetry.
+* Zero-delay events (the network's coalesced "settle" events, completion
+  ticks of unconstrained flows) go to a FIFO batch instead of the heap.
+  Because the clock is monotonic and sequence numbers only grow, the batch
+  is always (time, seq)-sorted, so merging it with the heap head preserves
+  the exact global event order while skipping two O(log n) heap moves per
+  event.
+* Cancelled events (the network cancels its completion timer on every
+  reallocation) are compacted out lazily once they outnumber live ones,
+  keeping heap pops O(log live) instead of O(log lifetime).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.obs.registry import MetricsRegistry, default_registry
 from repro.obs.tracer import default_tracer
 
+# Compact the queues once cancelled events outnumber live ones and there is
+# enough garbage for the O(n) sweep to pay for itself.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Event:
     """A scheduled callback. Cancel via :meth:`Simulator.cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "done")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple) -> None:
         self.time = time
@@ -30,6 +49,9 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Set once the event leaves the queue (executed or swept); a cancel
+        # arriving after that must not touch the live-event counter.
+        self.done = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -49,9 +71,12 @@ class Simulator:
     def __init__(self, tracer=None, metrics: Optional[MetricsRegistry] = None) -> None:
         self._now = 0.0
         self._queue: List[Event] = []
+        self._batch: deque = deque()  # zero-delay events, (time, seq)-sorted
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._live = 0  # non-cancelled events still queued (O(1) `pending`)
+        self._cancelled_queued = 0  # cancelled events not yet swept out
         # Observability: the tracer defaults to the process-wide setting
         # (a no-op unless tracing was enabled), the metrics registry is
         # always real — counters are cheap and every layer shares this one.
@@ -76,14 +101,21 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return self._live
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = Event(self._now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        self._live += 1
+        if delay == 0.0:
+            # Same-instant events land behind every queued event at this
+            # time (their seq is the largest so far), so a FIFO preserves
+            # the (time, seq) order without heap churn.
+            self._batch.append(event)
+        else:
+            heapq.heappush(self._queue, event)
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
@@ -92,8 +124,66 @@ class Simulator:
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a pending event; cancelling None or twice is harmless."""
-        if event is not None:
-            event.cancelled = True
+        if event is None or event.cancelled or event.done:
+            return
+        event.cancelled = True
+        self._live -= 1
+        self._cancelled_queued += 1
+        if (
+            self._cancelled_queued > _COMPACT_MIN_CANCELLED
+            and self._cancelled_queued * 2 > len(self._queue) + len(self._batch)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep cancelled events out of both queues (order-preserving)."""
+        for event in self._queue:
+            if event.cancelled:
+                event.done = True
+        for event in self._batch:
+            if event.cancelled:
+                event.done = True
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._batch = deque(e for e in self._batch if not e.cancelled)
+        self._cancelled_queued = 0
+
+    def _pop_next(self) -> Optional[Event]:
+        """Remove and return the earliest queued event, skipping cancelled.
+
+        Returns None when both queues are drained. The zero-delay batch is
+        FIFO and the heap is (time, seq)-ordered; comparing their heads
+        yields the globally earliest event.
+        """
+        queue = self._queue
+        batch = self._batch
+        while queue or batch:
+            if batch and (not queue or batch[0] < queue[0]):
+                event = batch.popleft()
+            else:
+                event = heapq.heappop(queue)
+            if event.cancelled:
+                self._cancelled_queued -= 1
+                event.done = True
+                continue
+            return event
+        return None
+
+    def _peek_next(self) -> Optional[Event]:
+        """The earliest live queued event without removing it."""
+        queue = self._queue
+        batch = self._batch
+        while queue and queue[0].cancelled:
+            self._cancelled_queued -= 1
+            heapq.heappop(queue).done = True
+        while batch and batch[0].cancelled:
+            self._cancelled_queued -= 1
+            batch.popleft().done = True
+        if batch and (not queue or batch[0] < queue[0]):
+            return batch[0]
+        if queue:
+            return queue[0]
+        return None
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Run events in order until the queue drains or ``until`` is reached.
@@ -107,19 +197,22 @@ class Simulator:
         trace_events = self.trace_events and self.tracer.enabled
         try:
             executed = 0
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
+            while True:
+                event = self._peek_next()
+                if event is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
+                self._pop_next()
                 if event.time < self._now - 1e-9:
                     raise SimulationError(
                         f"event queue corrupted: event at {event.time} < now {self._now}"
                     )
+                event.done = True
+                self._live -= 1
                 self._now = max(self._now, event.time)
                 if trace_events:
                     self.tracer.instant(
@@ -131,9 +224,6 @@ class Simulator:
                 executed += 1
                 if executed >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}; likely a loop")
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
         finally:
             self._running = False
             self.metrics.gauge("sim.events_processed").set(self._processed)

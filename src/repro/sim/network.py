@@ -8,6 +8,26 @@ source's upload capacity and the destination's download capacity, computed
 by progressive water-filling and recomputed whenever a flow starts or
 finishes.
 
+Paper-scale fast paths (none may change a simulated result):
+
+* **Incremental allocation.** The link-constraint graph — one ``("up",
+  host)`` / ``("down", host)`` key per used direction — is maintained
+  persistently. A flow admission/removal or bandwidth change only dirties
+  its own links, and water-filling re-runs over the affected connected
+  component; flows in untouched components keep their rates, which is
+  bit-identical because each component's allocation is an independent
+  subproblem. ``network.allocator = "global"`` is the escape hatch that
+  forces the full solve every time (the equivalence tests run both and
+  compare serialized output).
+* **Event coalescing.** Mutations don't reallocate inline; they settle
+  byte progress and schedule one zero-delay *settle event*, so N
+  same-instant admissions/aborts trigger one recompute instead of N.
+  Elapsed time between same-instant recomputes is zero, so no bytes can
+  move differently — completion instants are preserved.
+* **Cached admission order.** The live flow list is kept sorted by
+  admission sequence (insert by bisection, not re-sorted per event); all
+  float accumulation walks it in that fixed order.
+
 Small control messages (DHT maintenance pings, routing messages) bypass the
 flow machinery through :meth:`Network.send_control`: they are charged to
 byte counters and delivered after one propagation latency, which is how the
@@ -17,13 +37,16 @@ paper measures the pure maintenance overhead of Fig. 12c.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.obs.tracer import NULL_SPAN
 from repro.sim.kernel import Event, Simulator
 
 _EPSILON_BYTES = 1e-6
+
+# A link-constraint key: ("up", host_name) or ("down", host_name).
+_LinkKey = Tuple[str, str]
 
 
 class Host:
@@ -126,10 +149,20 @@ class Flow:
 class Network:
     """The shared network connecting all hosts of one simulation."""
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, allocator: str = "incremental") -> None:
+        if allocator not in ("incremental", "global"):
+            raise NetworkError(f"unknown allocator: {allocator!r}")
         self.sim = sim
+        # "incremental" re-solves only the dirty connected component;
+        # "global" is the escape hatch that re-runs the full water-filling
+        # on every reallocation (used by the equivalence tests).
+        self.allocator = allocator
         self.hosts: Dict[str, Host] = {}
         self._flows: Set[Flow] = set()
+        # Live flows sorted by admission sequence — the deterministic
+        # iteration order for every float accumulation. Maintained by
+        # bisection insert / remove instead of sorting per event.
+        self._order_cache: List[Flow] = []
         self._completion_event: Optional[Event] = None
         self.total_bytes = 0.0
         self.total_control_bytes = 0.0
@@ -139,6 +172,23 @@ class Network:
         # the set cannot exchange traffic with hosts outside it (and vice
         # versa) until the partition heals.
         self._partition: Optional[frozenset] = None
+        # Persistent link-constraint graph: link key -> live flows crossing
+        # it, in admission order (dict used as an ordered set). Mutations
+        # mark the keys they touch dirty; the next recompute water-fills
+        # only the connected component reachable from the dirty keys.
+        self._members: Dict[_LinkKey, Dict[Flow, None]] = {}
+        self._dirty_keys: Set[_LinkKey] = set()
+        # One zero-delay settle event coalesces all same-instant mutations
+        # into a single reallocation.
+        self._recompute_pending = False
+        # Settle bookkeeping: re-settling at the same instant moves zero
+        # bytes, so it can be skipped — unless some flow runs at infinite
+        # rate (its whole payload moves on settle regardless of elapsed).
+        self._settled_at = -1.0
+        self._inf_rates = False
+        # Hosts with at least one live flow (endpoint refcounts) — the
+        # telemetry "involved" set without scanning every flow per sample.
+        self._active_refs: Dict[Host, int] = {}
         # Cached registry handles: these sit on per-byte/per-flow paths.
         self._flow_bytes_counter = sim.metrics.counter("net.flow_bytes")
         self._control_bytes_counter = sim.metrics.counter("net.control_bytes")
@@ -154,6 +204,7 @@ class Network:
         self._flows_active_series = sim.metrics.series("net.flows_active")
         self._queue_wait_hist = sim.metrics.histogram("net.flow_queue_wait")
         self._flow_stall_hist = sim.metrics.histogram("net.flow_stall_s")
+        self._host_series: Dict[str, tuple] = {}
         # Hosts whose allocation may just have dropped (flow removed or
         # bandwidth changed) and must record a fresh sample even if they
         # no longer carry any flow.
@@ -182,9 +233,7 @@ class Network:
     def fail_host(self, host: Host) -> None:
         """Crash a host: all flows touching it abort immediately."""
         host.alive = False
-        victims = self._ordered(
-            f for f in self._flows if f.src is host or f.dst is host
-        )
+        victims = self._ordered(host.active_out | host.active_in)
         self._settle_progress()
         for flow in victims:
             self._remove_flow(flow)
@@ -192,7 +241,7 @@ class Network:
             self._trace_abort(flow, reason="host_failed")
             if flow.on_abort is not None:
                 flow.on_abort(flow)
-        self._recompute_rates()
+        self._request_recompute()
 
     def recover_host(self, host: Host) -> None:
         """Bring a crashed host back (replacement node taking its place)."""
@@ -226,9 +275,9 @@ class Network:
         if unknown:
             raise NetworkError(f"cannot partition unknown hosts: {sorted(unknown)}")
         self._partition = names
-        victims = self._ordered(
-            f for f in self._flows if not self.reachable(f.src, f.dst)
-        )
+        victims = [
+            f for f in self._order_cache if not self.reachable(f.src, f.dst)
+        ]
         self._settle_progress()
         for flow in victims:
             self._remove_flow(flow)
@@ -236,7 +285,7 @@ class Network:
             self._trace_abort(flow, reason="partitioned")
             if flow.on_abort is not None:
                 flow.on_abort(flow)
-        self._recompute_rates()
+        self._request_recompute()
         self.sim.tracer.instant(
             "network partitioned", category="net.partition", hosts=len(names)
         )
@@ -262,7 +311,9 @@ class Network:
         self._settle_progress()
         host.up_bw = up_bw
         host.down_bw = down_bw
-        self._recompute_rates()
+        self._dirty_keys.add(("up", host.name))
+        self._dirty_keys.add(("down", host.name))
+        self._request_recompute()
 
     # ------------------------------------------------------------------ flows
 
@@ -322,9 +373,18 @@ class Network:
             self._finish_flow(flow)
             return
         self._flows.add(flow)
+        self._insert_ordered(flow)
         flow.src.active_out.add(flow)
         flow.dst.active_in.add(flow)
-        self._recompute_rates()
+        up_key = ("up", flow.src.name)
+        down_key = ("down", flow.dst.name)
+        self._members.setdefault(up_key, {})[flow] = None
+        self._members.setdefault(down_key, {})[flow] = None
+        self._dirty_keys.add(up_key)
+        self._dirty_keys.add(down_key)
+        self._active_refs[flow.src] = self._active_refs.get(flow.src, 0) + 1
+        self._active_refs[flow.dst] = self._active_refs.get(flow.dst, 0) + 1
+        self._request_recompute()
 
     def abort_flow(self, flow: Flow) -> None:
         """Cancel an in-flight (or not yet admitted) transfer."""
@@ -337,7 +397,7 @@ class Network:
         self._trace_abort(flow, reason="cancelled")
         if flow.on_abort is not None:
             flow.on_abort(flow)
-        self._recompute_rates()
+        self._request_recompute()
 
     # ------------------------------------------------------------ control msgs
 
@@ -376,10 +436,30 @@ class Network:
         """Flows in admission order — the deterministic iteration order."""
         return sorted(flows, key=lambda f: f.seq)
 
+    def _insert_ordered(self, flow: Flow) -> None:
+        """Bisection insert into the admission-ordered live list."""
+        lst = self._order_cache
+        seq = flow.seq
+        lo, hi = 0, len(lst)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if lst[mid].seq < seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        lst.insert(lo, flow)
+
     def _settle_progress(self) -> None:
-        """Advance every flow's remaining-byte count to the current instant."""
+        """Advance every flow's remaining-byte count to the current instant.
+
+        Re-settling at an instant already settled moves zero bytes, so it
+        short-circuits — except while an infinite-rate flow is live (its
+        whole payload moves on settle regardless of elapsed time).
+        """
         now = self.sim.now
-        for flow in self._ordered(self._flows):
+        if now == self._settled_at and not self._inf_rates:
+            return
+        for flow in self._order_cache:
             elapsed = now - flow._last_update
             if math.isinf(flow.rate):
                 # Unconstrained path: the transfer completes instantly.
@@ -395,11 +475,28 @@ class Network:
                 self.total_bytes += moved
                 self._flow_bytes_counter.add(moved)
             flow._last_update = now
+        self._settled_at = now
 
     def _remove_flow(self, flow: Flow) -> None:
         self._flows.discard(flow)
+        self._order_cache.remove(flow)
         flow.src.active_out.discard(flow)
         flow.dst.active_in.discard(flow)
+        up_key = ("up", flow.src.name)
+        down_key = ("down", flow.dst.name)
+        for key in (up_key, down_key):
+            link = self._members.get(key)
+            if link is not None:
+                link.pop(flow, None)
+                if not link:
+                    del self._members[key]
+            self._dirty_keys.add(key)
+        for host in (flow.src, flow.dst):
+            refs = self._active_refs.get(host, 0) - 1
+            if refs > 0:
+                self._active_refs[host] = refs
+            else:
+                self._active_refs.pop(host, None)
         # Their utilization may have just dropped to zero; make sure the
         # next telemetry sample closes out their timelines.
         self._telemetry_dirty.add(flow.src)
@@ -425,35 +522,125 @@ class Network:
         self._flows_aborted_counter.add(1)
         flow.span.finish(aborted=True, reason=reason)
 
+    def _request_recompute(self) -> None:
+        """Coalesce same-instant reallocations behind one settle event."""
+        if self._recompute_pending:
+            return
+        self._recompute_pending = True
+        self.sim.schedule(0.0, self._settle_event)
+
+    def _settle_event(self) -> None:
+        self._recompute_pending = False
+        self._recompute_rates()
+
     def _recompute_rates(self) -> None:
-        """Max-min fair allocation by progressive water-filling."""
+        """Max-min fair allocation by progressive water-filling.
+
+        Under the incremental allocator only the connected component of
+        the link graph reachable from dirty links is re-solved; rates of
+        flows in untouched components are provably unchanged (their
+        water-filling subproblem has identical inputs).
+        """
         if self._completion_event is not None:
             self.sim.cancel(self._completion_event)
             self._completion_event = None
+        dirty = self._dirty_keys
         if not self._flows:
+            dirty.clear()
+            self._inf_rates = False
             self._record_telemetry()
             return
 
-        ordered_flows = self._ordered(self._flows)
-        residual: Dict[tuple, float] = {}
-        members: Dict[tuple, List[Flow]] = {}
-        for flow in ordered_flows:
+        if self.allocator == "global":
+            dirty.clear()
+            rates = self._waterfill(self._order_cache)
+            for flow in self._order_cache:
+                flow.rate = rates.get(flow, 0.0)
+        elif dirty:
+            component = self._dirty_component()
+            dirty.clear()
+            if 2 * len(component) >= len(self._order_cache):
+                # Most flows are affected anyway — the restricted solve
+                # would walk the same links as the full one.
+                rates = self._waterfill(self._order_cache)
+                for flow in self._order_cache:
+                    flow.rate = rates.get(flow, 0.0)
+            elif component:
+                affected = self._ordered(component)
+                rates = self._waterfill(affected)
+                for flow in affected:
+                    flow.rate = rates.get(flow, 0.0)
+        # else: nothing touching the link graph changed (e.g. an abort of
+        # a not-yet-admitted flow) — every rate is still valid.
+
+        now = self.sim.now
+        next_completion = math.inf
+        inf_rates = False
+        for flow in self._order_cache:
+            rate = flow.rate
+            if rate > 0:
+                if math.isinf(rate):
+                    finish = now
+                    inf_rates = True
+                else:
+                    finish = now + flow.remaining / rate
+                next_completion = min(next_completion, finish)
+        self._inf_rates = inf_rates
+        if not math.isinf(next_completion):
+            delay = max(0.0, next_completion - now)
+            self._completion_event = self.sim.schedule(delay, self._on_completion_tick)
+        self._record_telemetry()
+
+    def _dirty_component(self) -> Set[Flow]:
+        """Flows connected to a dirty link through shared constraints."""
+        component: Set[Flow] = set()
+        members = self._members
+        stack = [key for key in self._dirty_keys if key in members]
+        seen = set(stack)
+        while stack:
+            key = stack.pop()
+            for flow in members[key]:
+                if flow in component:
+                    continue
+                component.add(flow)
+                for other in (("up", flow.src.name), ("down", flow.dst.name)):
+                    if other not in seen and other in members:
+                        seen.add(other)
+                        stack.append(other)
+        return component
+
+    def _waterfill(self, flows: List[Flow]) -> Dict[Flow, float]:
+        """Progressive water-filling over ``flows`` (admission-ordered).
+
+        ``flows`` must be closed under constraint sharing: every flow that
+        crosses a link used by a member is itself a member. Float-op order
+        matches the historical global solve exactly — shares divide the
+        same residuals, fixed flows subtract in admission order.
+        """
+        residual: Dict[_LinkKey, float] = {}
+        members: Dict[_LinkKey, List[Flow]] = {}
+        for flow in flows:
             up_key = ("up", flow.src.name)
             down_key = ("down", flow.dst.name)
-            residual.setdefault(up_key, flow.src.up_bw)
-            residual.setdefault(down_key, flow.dst.down_bw)
-            members.setdefault(up_key, []).append(flow)
-            members.setdefault(down_key, []).append(flow)
+            if up_key not in residual:
+                residual[up_key] = flow.src.up_bw
+                members[up_key] = []
+            members[up_key].append(flow)
+            if down_key not in residual:
+                residual[down_key] = flow.dst.down_bw
+                members[down_key] = []
+            members[down_key].append(flow)
+        unfixed_count = {key: len(flows) for key, flows in members.items()}
 
-        unfixed = set(self._flows)
+        unfixed = set(flows)
         rates: Dict[Flow, float] = {}
         while unfixed:
             bottleneck_share = math.inf
             for key, cap in residual.items():
-                active = [f for f in members[key] if f in unfixed]
-                if not active:
+                count = unfixed_count[key]
+                if not count:
                     continue
-                share = cap / len(active)
+                share = cap / count
                 if share < bottleneck_share:
                     bottleneck_share = share
             if math.isinf(bottleneck_share):
@@ -461,36 +648,30 @@ class Network:
                     rates[flow] = math.inf
                 break
             newly_fixed = set()
-            for key, cap in list(residual.items()):
-                active = [f for f in members[key] if f in unfixed]
-                if active and cap / len(active) <= bottleneck_share * (1 + 1e-12):
-                    newly_fixed.update(active)
+            for key, cap in residual.items():
+                count = unfixed_count[key]
+                if count and cap / count <= bottleneck_share * (1 + 1e-12):
+                    newly_fixed.update(f for f in members[key] if f in unfixed)
             if not newly_fixed:
                 raise NetworkError("water-filling failed to make progress")
             # Subtract in admission order: residual capacities accumulate
             # float error, and a set-order walk would make the ulps depend
             # on object addresses rather than on the seed.
+            touched = []
             for flow in self._ordered(newly_fixed):
                 rates[flow] = bottleneck_share
                 unfixed.discard(flow)
-                residual[("up", flow.src.name)] -= bottleneck_share
-                residual[("down", flow.dst.name)] -= bottleneck_share
-            for key in residual:
+                up_key = ("up", flow.src.name)
+                down_key = ("down", flow.dst.name)
+                residual[up_key] -= bottleneck_share
+                unfixed_count[up_key] -= 1
+                residual[down_key] -= bottleneck_share
+                unfixed_count[down_key] -= 1
+                touched.append(up_key)
+                touched.append(down_key)
+            for key in touched:
                 residual[key] = max(0.0, residual[key])
-
-        next_completion = math.inf
-        for flow in ordered_flows:
-            flow.rate = rates.get(flow, 0.0)
-            if flow.rate > 0:
-                if math.isinf(flow.rate):
-                    finish = self.sim.now
-                else:
-                    finish = self.sim.now + flow.remaining / flow.rate
-                next_completion = min(next_completion, finish)
-        if not math.isinf(next_completion):
-            delay = max(0.0, next_completion - self.sim.now)
-            self._completion_event = self.sim.schedule(delay, self._on_completion_tick)
-        self._record_telemetry()
+        return rates
 
     @staticmethod
     def _direction_utilization(flows: Set[Flow], capacity: float) -> float:
@@ -505,32 +686,41 @@ class Network:
         """Sample per-host link utilization and flow counts after a reallocation."""
         now = self.sim.now
         self._flows_active_series.record(now, float(len(self._flows)))
-        involved = {f.src for f in self._flows} | {f.dst for f in self._flows}
+        involved = set(self._active_refs)
         involved |= self._telemetry_dirty
         self._telemetry_dirty.clear()
-        series = self.sim.metrics.series
         for host in sorted(involved, key=lambda h: h.name):
-            series(f"net.host.{host.name}.up_util").record(
+            cached = self._host_series.get(host.name)
+            if cached is None:
+                series = self.sim.metrics.series
+                cached = (
+                    series(f"net.host.{host.name}.up_util"),
+                    series(f"net.host.{host.name}.down_util"),
+                    series(f"net.host.{host.name}.flows"),
+                )
+                self._host_series[host.name] = cached
+            up_series, down_series, flows_series = cached
+            up_series.record(
                 now, self._direction_utilization(host.active_out, host.up_bw)
             )
-            series(f"net.host.{host.name}.down_util").record(
+            down_series.record(
                 now, self._direction_utilization(host.active_in, host.down_bw)
             )
-            series(f"net.host.{host.name}.flows").record(
+            flows_series.record(
                 now, float(len(host.active_out) + len(host.active_in))
             )
 
     def _on_completion_tick(self) -> None:
         self._completion_event = None
         self._settle_progress()
-        finished = self._ordered(
-            f for f in self._flows if f.remaining <= _EPSILON_BYTES
-        )
+        finished = [
+            f for f in self._order_cache if f.remaining <= _EPSILON_BYTES
+        ]
         for flow in finished:
             self._remove_flow(flow)
         for flow in finished:
             self._finish_flow(flow)
-        self._recompute_rates()
+        self._request_recompute()
 
 
 class RemoteStorage(Host):

@@ -47,26 +47,51 @@ class NodeId:
         return f"{self.value:032x}"
 
     def digits(self, bits_per_digit: int = 4) -> tuple:
-        """The id split into base-``2**bits_per_digit`` digits, MSB first."""
+        """The id split into base-``2**bits_per_digit`` digits, MSB first.
+
+        Memoized per ``bits_per_digit``: routing-table wiring touches the
+        digit tuple of every node many times per overlay build.
+        """
+        cache = self.__dict__.get("_digits_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_digits_cache", cache)
+        found = cache.get(bits_per_digit)
+        if found is None:
+            if ID_BITS % bits_per_digit:
+                raise ValueError("bits_per_digit must divide 128")
+            count = ID_BITS // bits_per_digit
+            mask = (1 << bits_per_digit) - 1
+            value = self.value
+            found = tuple(
+                (value >> (bits_per_digit * (count - 1 - i))) & mask
+                for i in range(count)
+            )
+            cache[bits_per_digit] = found
+        return found
+
+    def digit(self, index: int, bits_per_digit: int = 4) -> int:
+        """The ``index``-th (MSB-first) base-``2**b`` digit, without
+        materializing the whole tuple."""
         if ID_BITS % bits_per_digit:
             raise ValueError("bits_per_digit must divide 128")
         count = ID_BITS // bits_per_digit
-        mask = (1 << bits_per_digit) - 1
-        return tuple(
-            (self.value >> (bits_per_digit * (count - 1 - i))) & mask
-            for i in range(count)
-        )
+        shift = bits_per_digit * (count - 1 - index)
+        return (self.value >> shift) & ((1 << bits_per_digit) - 1)
 
     def shared_prefix_length(self, other: "NodeId", bits_per_digit: int = 4) -> int:
-        """Number of leading base-``2**b`` digits shared with ``other``."""
-        mine = self.digits(bits_per_digit)
-        theirs = other.digits(bits_per_digit)
-        shared = 0
-        for a, b in zip(mine, theirs):
-            if a != b:
-                break
-            shared += 1
-        return shared
+        """Number of leading base-``2**b`` digits shared with ``other``.
+
+        Computed from the xor's bit length: the leading equal *bits* are
+        ``ID_BITS - (a ^ b).bit_length()``, and whole shared digits are
+        that divided by the digit width.
+        """
+        if ID_BITS % bits_per_digit:
+            raise ValueError("bits_per_digit must divide 128")
+        diff = self.value ^ other.value
+        if diff == 0:
+            return ID_BITS // bits_per_digit
+        return (ID_BITS - diff.bit_length()) // bits_per_digit
 
     def distance(self, other: "NodeId") -> int:
         """Shortest distance around the ring between the two ids."""

@@ -74,6 +74,26 @@ class TestCompare:
         with pytest.raises(BenchmarkError):
             compare_to_baseline({}, {}, tolerance=-0.1)
 
+    def test_wall_clock_keys_are_informational(self):
+        """Keys with wall-clock suffixes never gate, even on huge swings."""
+        baseline = {
+            "scale/512/star": 3.0,
+            "scale/512/star/wall_s": 0.1,
+            "scale/512/star/events_per_s": 10000.0,
+        }
+        measured = {
+            "scale/512/star": 3.0,
+            "scale/512/star/wall_s": 50.0,
+            "scale/512/star/events_per_s": 1.0,
+        }
+        comparison = compare_to_baseline(baseline, measured, tolerance=0.20)
+        assert comparison.ok
+        assert comparison.compared == 1
+        assert comparison.informational == 2
+        assert comparison.new_keys == []
+        assert comparison.missing_keys == []
+        assert "informational" in comparison.summary()
+
 
 class TestArtifactRoundTrip:
     def test_write_load(self, tmp_path):

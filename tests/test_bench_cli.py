@@ -17,6 +17,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig10", "--mechanism", "ring"])
 
+    def test_scale_nodes_repeatable(self):
+        args = build_parser().parse_args(
+            ["scale", "--scale-nodes", "64", "--scale-nodes", "128"]
+        )
+        assert args.scale_nodes == [64, 128]
+        assert build_parser().parse_args(["scale"]).scale_nodes is None
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -67,6 +74,44 @@ class TestMain:
     def test_runs_fig11_scaled(self, capsys):
         assert main(["fig11", "--apps", "10", "--nodes", "200"]) == 0
         assert "mean_shards_per_node" in capsys.readouterr().out
+
+
+class TestScaleExperiment:
+    def test_scale_smoke_rows_and_baseline_keys(self):
+        from repro.bench import experiments as exp
+
+        result = exp.scale_overlay(node_counts=(64,), state_mb=1)
+        mechanisms = {row["mechanism"] for row in result.rows}
+        assert mechanisms == {"star", "line", "tree"}
+        assert all(row["nodes"] == 64 for row in result.rows)
+        assert all(row["makespan_s"] > 0 for row in result.rows)
+        assert all(row["wall_s"] >= 0 for row in result.rows)
+        metrics = result.extra["baseline_metrics"]
+        for mech in ("star", "line", "tree"):
+            assert metrics[f"scale/64/{mech}"] > 0
+            assert f"scale/64/{mech}/wall_s" in metrics
+            assert f"scale/64/{mech}/events_per_s" in metrics
+
+    def test_scale_simulated_makespans_deterministic(self):
+        from repro.bench import experiments as exp
+
+        first = exp.scale_overlay(node_counts=(64,), state_mb=1)
+        second = exp.scale_overlay(node_counts=(64,), state_mb=1)
+
+        def simulated(result):
+            return {
+                k: v
+                for k, v in result.extra["baseline_metrics"].items()
+                if not k.endswith(("/wall_s", "/events_per_s"))
+            }
+
+        assert simulated(first) == simulated(second)
+
+    def test_scale_cli_with_custom_nodes(self, capsys):
+        assert main(["scale", "--scale-nodes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan_s" in out
+        assert "wall_s" in out
 
 
 class TestCampaign:

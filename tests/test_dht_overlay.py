@@ -183,6 +183,42 @@ class TestFailureRepair:
             overlay.replacement_for(overlay.nodes[0])
 
 
+class TestBuildAddNodeParity:
+    def test_build_matches_incremental_joins(self):
+        """build(N) and build(1) + add_node()*(N-1) wire identical rings.
+
+        Both paths must draw the same node ids (build's rng.choice calls
+        happen only after every id is drawn, and build(1) short-circuits
+        routing wiring) and produce the same leaf sets per node. The ring
+        must be larger than leaf_set_size + 1: on smaller rings build's
+        windows legitimately contain wrap-around duplicates that the
+        incremental path's nearest-pool rebuild does not.
+        """
+        n, seed, leaf_set_size = 40, 11, 8
+
+        built = build_overlay(n, seed=seed, leaf_set_size=leaf_set_size)
+
+        sim = Simulator()
+        net = Network(sim)
+        grown = Overlay(
+            sim, net, leaf_set_size=leaf_set_size, rng=random.Random(seed)
+        )
+        grown.build(1)
+        for _ in range(n - 1):
+            grown.add_node()
+
+        assert {x.node_id for x in built.nodes} == {x.node_id for x in grown.nodes}
+        grown_by_id = {x.node_id: x for x in grown.nodes}
+        for node in built.nodes:
+            twin = grown_by_id[node.node_id]
+            assert [m.node_id for m in node.leaf_set.clockwise()] == [
+                m.node_id for m in twin.leaf_set.clockwise()
+            ]
+            assert [m.node_id for m in node.leaf_set.counter_clockwise()] == [
+                m.node_id for m in twin.leaf_set.counter_clockwise()
+            ]
+
+
 class TestMembershipChanges:
     def test_add_node_joins_ring(self):
         overlay = build_overlay(40, seed=8)

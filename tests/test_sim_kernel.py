@@ -96,6 +96,93 @@ class TestCancellation:
         assert sim.pending == 1
 
 
+class TestFastPaths:
+    """The O(1) pending counter, lazy compaction, and zero-delay batch."""
+
+    def test_pending_counter_tracks_mixed_schedule_and_cancel(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i % 3), lambda: None) for i in range(20)]
+        assert sim.pending == 20
+        for event in events[::2]:
+            sim.cancel(event)
+        assert sim.pending == 10
+        # Double-cancel and cancel-after-run must not double-decrement.
+        sim.cancel(events[0])
+        assert sim.pending == 10
+        sim.run_until_idle()
+        assert sim.pending == 0
+        for event in events:
+            sim.cancel(event)
+        assert sim.pending == 0
+
+    def test_compaction_preserves_order_and_pending(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        cancelled = []
+        for i in range(300):
+            event = sim.schedule(float(i), fired.append, i)
+            (keep if i % 4 == 0 else cancelled).append((i, event))
+        # Cancelling >64 events where most of the queue is dead triggers
+        # the lazy heap compaction.
+        for _, event in cancelled:
+            sim.cancel(event)
+        assert sim.pending == len(keep)
+        sim.run_until_idle()
+        assert fired == [i for i, _ in keep]
+        assert sim.pending == 0
+
+    def test_zero_delay_batch_runs_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+
+        def cascade(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(0.0, cascade, depth + 1)
+
+        sim.schedule(0.0, fired.append, "a")
+        sim.schedule(0.0, cascade, 0)
+        sim.schedule(0.0, fired.append, "b")
+        sim.run_until_idle()
+        assert fired == ["a", 0, "b", 1, 2, 3]
+
+    def test_zero_delay_batch_interleaves_with_heap_ties(self):
+        """schedule(0.0, ...) and schedule_at(now, ...) at the same instant
+        still fire in overall schedule (seq) order."""
+        sim = Simulator()
+        fired = []
+
+        def at_one():
+            sim.schedule(0.0, fired.append, "batch1")
+            sim.schedule_at(1.0, fired.append, "heap1")
+            sim.schedule(0.0, fired.append, "batch2")
+            sim.schedule_at(1.0, fired.append, "heap2")
+
+        sim.schedule(1.0, at_one)
+        sim.run_until_idle()
+        assert fired == ["batch1", "heap1", "batch2", "heap2"]
+
+    def test_cancel_zero_delay_event(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(0.0, fired.append, 1)
+        sim.schedule(0.0, fired.append, 2)
+        sim.cancel(event)
+        assert sim.pending == 1
+        sim.run_until_idle()
+        assert fired == [2]
+
+    def test_run_until_respects_pending_zero_delay_work(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: sim.schedule(0.0, fired.append, "late"))
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run_until_idle()
+        assert fired == ["late"]
+
+
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):
         sim = Simulator()

@@ -70,6 +70,25 @@ class TestDigits:
             value = (value << 4) | d
         assert value == node_id.value
 
+    @given(ids, st.sampled_from([1, 2, 4, 8]))
+    def test_digits_match_shift_reference(self, node_id, bits):
+        count = ID_BITS // bits
+        mask = (1 << bits) - 1
+        reference = tuple(
+            (node_id.value >> (ID_BITS - bits * (i + 1))) & mask
+            for i in range(count)
+        )
+        assert node_id.digits(bits) == reference
+        # Memoized second call returns the identical tuple.
+        assert node_id.digits(bits) == reference
+
+    @given(ids, st.sampled_from([1, 2, 4, 8]))
+    def test_single_digit_matches_digits_tuple(self, node_id, bits):
+        digits = node_id.digits(bits)
+        assert all(
+            node_id.digit(i, bits) == digits[i] for i in range(len(digits))
+        )
+
 
 class TestPrefixAndDistance:
     def test_shared_prefix_full(self):
@@ -80,6 +99,22 @@ class TestPrefixAndDistance:
         a = NodeId(0)
         b = NodeId(0xF << (ID_BITS - 4))
         assert a.shared_prefix_length(b) == 0
+
+    @given(ids, ids, st.sampled_from([1, 2, 4, 8]))
+    def test_shared_prefix_matches_digit_comparison(self, a, b, bits):
+        a_digits = a.digits(bits)
+        b_digits = b.digits(bits)
+        expected = 0
+        for x, y in zip(a_digits, b_digits):
+            if x != y:
+                break
+            expected += 1
+        assert a.shared_prefix_length(b, bits) == expected
+
+    def test_shared_prefix_last_bit_differs(self):
+        a = NodeId(0)
+        assert a.shared_prefix_length(NodeId(1), 4) == ID_BITS // 4 - 1
+        assert a.shared_prefix_length(NodeId(1), 1) == ID_BITS - 1
 
     @given(ids, ids)
     def test_distance_symmetry(self, a, b):
