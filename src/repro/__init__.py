@@ -21,14 +21,40 @@ paper by Xu, Liu, Cruz-Diaz, Da Silva and Hu. The package contains:
 - ``repro.bench`` — the experiment harness regenerating every table and
   figure of the evaluation;
 - ``repro.obs`` — deterministic span tracing and the metrics registry
-  behind every layer above.
+  behind every layer above;
+- ``repro.control`` — the closed-loop auto-remediation control plane
+  (diagnose → plan → act → verify over a live deployment).
 
 Quick start: :class:`repro.SR3` (see ``examples/quickstart.py``).
 """
 
 from repro.api import SR3, SelectionResult, SplitResult
+from repro.control import (
+    ControlConfig,
+    Controller,
+    ControlPlane,
+    Diagnosis,
+    PolicyRule,
+    PolicyTable,
+    RemediationRecord,
+    default_policy,
+)
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
-__all__ = ["SR3", "SelectionResult", "SplitResult", "ReproError", "__version__"]
+__all__ = [
+    "SR3",
+    "SelectionResult",
+    "SplitResult",
+    "ReproError",
+    "ControlConfig",
+    "ControlPlane",
+    "Controller",
+    "Diagnosis",
+    "PolicyRule",
+    "PolicyTable",
+    "RemediationRecord",
+    "default_policy",
+    "__version__",
+]

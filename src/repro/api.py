@@ -22,6 +22,7 @@ SaveResult(...)
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -91,8 +92,11 @@ class SelectionResult:
     """Outcome of :meth:`SR3.selection`: the chosen mechanism and the knob
     values the heuristic pinned for the application.
 
-    Compares equal to the bare :class:`Mechanism` member, so
-    ``result == Mechanism.STAR`` keeps working.
+    Compares equal to the bare :class:`Mechanism` member *and* to its
+    string value, so ``result == Mechanism.STAR`` and ``result == "star"``
+    both keep working — and hashes to match both, so a result is found in
+    sets and dicts keyed either way (``Mechanism`` hashes by value for the
+    same reason).
     """
 
     mechanism: Mechanism
@@ -111,10 +115,14 @@ class SelectionResult:
             return (self.mechanism, self.knobs) == (other.mechanism, other.knobs)
         if isinstance(other, Mechanism):
             return self.mechanism is other
+        if isinstance(other, str):
+            return self.mechanism.value == other
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self.mechanism)
+        # Must collide with hash(self.mechanism) AND hash(self.value) —
+        # anything equal must hash equal. Mechanism.__hash__ is value-based.
+        return hash(self.mechanism.value)
 
 
 # Mechanism-specific knob aliases accepted by :meth:`SR3.define`, mapped
@@ -146,6 +154,7 @@ class SR3:
         self.manager = RecoveryManager(ctx)
         self.num_replicas = num_replicas
         self._policies: Dict[str, _AppPolicy] = {}
+        self._controller = None
 
     # -------------------------------------------------------------- creation
 
@@ -321,18 +330,29 @@ class SR3:
         self._policies[app_name] = _AppPolicy(impl)
         return impl
 
+    @staticmethod
+    def _deprecated_define(old: str, new: str) -> None:
+        warnings.warn(
+            f"SR3.{old} is deprecated; use SR3.define({new}) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def star_define(self, app_name: str, star_fanout: int = 2) -> None:
-        """``StarDefine``: pin the app to star recovery with this fan-out."""
+        """``StarDefine``: deprecated alias for :meth:`define` with star."""
+        self._deprecated_define("star_define", "app, 'star', star_fanout=...")
         self.define(app_name, Mechanism.STAR, star_fanout=star_fanout)
 
     def line_define(self, app_name: str, length_of_path: int = 8) -> None:
-        """``LineDefine``: pin the app to line recovery with this path."""
+        """``LineDefine``: deprecated alias for :meth:`define` with line."""
+        self._deprecated_define("line_define", "app, 'line', length_of_path=...")
         self.define(app_name, Mechanism.LINE, length_of_path=length_of_path)
 
     def tree_define(
         self, app_name: str, fanout: int = 1, branch_depth: Optional[int] = None
     ) -> None:
-        """``TreeDefine``: pin the app to tree recovery with these knobs."""
+        """``TreeDefine``: deprecated alias for :meth:`define` with tree."""
+        self._deprecated_define("tree_define", "app, 'tree', fanout=...")
         self.define(app_name, Mechanism.TREE, fanout=fanout, branch_depth=branch_depth)
 
     # ------------------------------------------------------ Table 2: Selection
@@ -411,6 +431,51 @@ class SR3:
         # plan is a version chain, plain shard merge otherwise.
         snapshot = self.manager.recovered_snapshot(state_name)
         return snapshot, result
+
+    # --------------------------------------------------- control plane (SR3+)
+
+    @property
+    def controller(self):
+        """The attached remediation controller, or ``None``."""
+        return self._controller
+
+    def attach_controller(self, policy=None, config=None, detector=None):
+        """Attach a closed-loop auto-remediation controller.
+
+        ``policy`` is a :class:`~repro.control.PolicyTable` (default: the
+        shipped :func:`~repro.control.default_policy`); ``config`` a
+        :class:`~repro.control.ControlConfig`; ``detector`` an optional
+        running :class:`~repro.dht.failure_detector.FailureDetector` whose
+        declarations feed the controller's event log (and date its MTTR
+        measurements). Returns the :class:`~repro.control.Controller` —
+        call :meth:`remediate` (or ``controller.run()``) after faults.
+        """
+        from repro.control import ControlPlane, Controller
+
+        if self._controller is not None:
+            raise RecoveryError(
+                "a controller is already attached; detach_controller() first"
+            )
+        world = ControlPlane.from_sr3(self, detector=detector)
+        self._controller = Controller(world, policy=policy, config=config)
+        return self._controller
+
+    def detach_controller(self):
+        """Detach and return the current controller (``None`` if none)."""
+        controller, self._controller = self._controller, None
+        return controller
+
+    def remediate(self, max_rounds: Optional[int] = None):
+        """Run the attached controller's loop until the world is clean.
+
+        Returns the list of :class:`~repro.control.RemediationRecord`\\ s
+        the sweep produced. Requires :meth:`attach_controller` first.
+        """
+        if self._controller is None:
+            raise RecoveryError(
+                "no controller attached; call attach_controller() first"
+            )
+        return self._controller.run(max_rounds)
 
     # --------------------------------------------------------- observability
 

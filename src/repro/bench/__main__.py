@@ -2,17 +2,22 @@
 
 Usage::
 
-    python -m repro.bench --list
-    python -m repro.bench fig8a
-    python -m repro.bench fig10 --mechanism tree --seed 3
-    python -m repro.bench fig11 --apps 500 --nodes 5000
-    python -m repro.bench all
-    python -m repro.bench --campaign smoke
+    python -m repro.bench list
+    python -m repro.bench run fig8a
+    python -m repro.bench run fig10 --mechanism tree --seed 3
+    python -m repro.bench run all
+    python -m repro.bench campaign smoke [--controller]
+    python -m repro.bench control --scenario crash-wave --scenario stragglers
 
-Prints the regenerated series as a text table (the same rows recorded in
-EXPERIMENTS.md). ``--campaign`` instead runs a chaos resilience campaign
+``run`` prints the regenerated series as a text table (the same rows
+recorded in EXPERIMENTS.md); ``campaign`` runs a chaos resilience campaign
 (see :mod:`repro.chaos`) and writes the deterministic resilience report
-JSON next to the bench output.
+JSON; ``control`` runs catalog scenarios with the auto-remediation
+controller in charge and reports remediation counts and MTTR per cell.
+
+The pre-subcommand flag style (``python -m repro.bench fig8a``,
+``--campaign smoke``, ``--list``) still works but is deprecated; a note on
+stderr points at the replacement.
 """
 
 from __future__ import annotations
@@ -68,7 +73,14 @@ EXPERIMENTS: Dict[str, Callable] = {
     "baselines": lambda args: exp.baseline_matrix(seed=args.seed),
     "saveamp": lambda args: exp.saveamp_wordcount(seed=args.seed),
     "scale": _scale,
+    "remediate": lambda args: exp.remediate_controller(
+        mechanism=args.mechanism, seed=args.seed
+    ),
 }
+
+#: First-token subcommands of the modern CLI; anything else falls back to
+#: the deprecated flag-style parser.
+SUBCOMMANDS = ("run", "campaign", "control", "list")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="where --campaign writes the resilience report JSON "
         "(default: resilience-<NAME>.json in the working directory)",
+    )
+    parser.add_argument(
+        "--controller",
+        action="store_true",
+        help="campaign mode: let the repro.control auto-remediation "
+        "controller own the response in every SR3 cell",
     )
     parser.add_argument(
         "--trace",
@@ -204,8 +222,9 @@ def run_campaign_cli(args) -> int:
     from repro.chaos import run_campaign
     from repro.errors import SimulationError
 
+    controller = getattr(args, "controller", False)
     try:
-        report = run_campaign(args.campaign)
+        report = run_campaign(args.campaign, controller=controller)
     except SimulationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -215,6 +234,56 @@ def run_campaign_cli(args) -> int:
         fh.write(report.to_json())
     print(f"resilience report written to {out_path}", file=sys.stderr)
     return 1 if report.counts()["failed"] else 0
+
+
+def run_control_cli(
+    scenario_names=None, mechanism: str = "star", out: str = None
+) -> int:
+    """Run catalog scenarios with the remediation controller in charge.
+
+    Prints one line per cell (status, remediation count, MTTR) and writes
+    the resilience report JSON. Exit codes: 0 all cells clean, 1 a cell
+    failed its invariants or remediated nothing, 2 unknown scenario.
+    """
+    from repro.chaos import SCENARIOS, run_campaign
+
+    names = list(scenario_names) if scenario_names else sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(
+            f"unknown scenario(s) {unknown}; known: {sorted(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_campaign(
+        "control",
+        scenarios=[SCENARIOS[n] for n in names],
+        mechanisms=[mechanism],
+        controller=True,
+    )
+    width = max(len(n) for n in names)
+    idle = 0
+    for outcome in sorted(report.outcomes, key=lambda o: o.scenario):
+        print(
+            f"{outcome.scenario.ljust(width)}  {outcome.status:9s}  "
+            f"remediations={outcome.remediations}  "
+            f"mttr_s={outcome.remediation_mttr_s:.3f}"
+        )
+        if outcome.remediations == 0:
+            idle += 1
+    out_path = out or "resilience-control.json"
+    with open(out_path, "w") as fh:
+        fh.write(report.to_json())
+    print(f"resilience report written to {out_path}", file=sys.stderr)
+    if report.counts()["failed"]:
+        return 1
+    if idle:
+        print(
+            f"{idle} scenario(s) finished without a verified remediation",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def write_profile_artifacts(args, extra_metrics=None) -> int:
@@ -292,7 +361,81 @@ def write_profile_artifacts(args, extra_metrics=None) -> int:
     return exit_code
 
 
+def _dispatch_subcommand(argv) -> int:
+    """Route a ``run``/``campaign``/``control``/``list`` invocation."""
+    import argparse as _argparse
+
+    command, rest = argv[0], argv[1:]
+    if command == "run":
+        if not rest or rest[0].startswith("-"):
+            print(
+                "usage: python -m repro.bench run <experiment> [flags]",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_legacy(rest)
+    if command == "list":
+        return _run_legacy(["--list"] + rest)
+    if command == "campaign":
+        parser = _argparse.ArgumentParser(prog="python -m repro.bench campaign")
+        parser.add_argument("name", help="campaign name ('smoke' or 'full')")
+        parser.add_argument(
+            "--controller",
+            action="store_true",
+            help="let the repro.control auto-remediation controller own "
+            "the response in every SR3 cell",
+        )
+        parser.add_argument(
+            "--out",
+            metavar="PATH",
+            help="resilience report path (default: resilience-<NAME>.json)",
+        )
+        args = parser.parse_args(rest)
+        legacy = ["--campaign", args.name]
+        if args.out:
+            legacy += ["--campaign-out", args.out]
+        if args.controller:
+            legacy += ["--controller"]
+        return _run_legacy(legacy)
+    # command == "control"
+    parser = _argparse.ArgumentParser(prog="python -m repro.bench control")
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="chaos scenario to run (repeatable; default: the full catalog)",
+    )
+    parser.add_argument(
+        "--mechanism",
+        choices=("star", "line", "tree", "speculation"),
+        default="star",
+        help="recovery mechanism the controller's policy pins (default: star)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="resilience report path (default: resilience-control.json)",
+    )
+    args = parser.parse_args(rest)
+    return run_control_cli(args.scenario, args.mechanism, args.out)
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SUBCOMMANDS:
+        return _dispatch_subcommand(list(argv))
+    if argv:
+        print(
+            "note: flag-style invocation is deprecated; use "
+            "'python -m repro.bench run|campaign|control|list' "
+            "(each takes --help)",
+            file=sys.stderr,
+        )
+    return _run_legacy(list(argv))
+
+
+def _run_legacy(argv) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.campaign:

@@ -89,6 +89,11 @@ class ChaosEngine:
         self.injector = FailureInjector(self.sim, self.network, rng=self.rng)
         self.handles: Dict[str, RecoveryHandle] = {}
         self.results: Dict[str, RecoveryResult] = {}
+        # When a controller is attached (see ``run_scenario(controller=True)``)
+        # owner-loss recoveries route through its policy table instead of
+        # calling the manager directly, and the catalog doubles as the
+        # control plane's adversarial regression suite.
+        self.controller = None
         self.errors: List[str] = []
         self.restarts: Dict[str, int] = {}
         self.joins = 0
@@ -235,6 +240,10 @@ class ChaosEngine:
                 handle = self._checkpointing_recovery(
                     name, registered, replacement
                 )
+            elif self.controller is not None:
+                handle = self.controller.begin_owner_loss(
+                    name, replacement=replacement, mechanism=self.mechanism
+                )
             else:
                 handle = self.manager.recover(
                     name, replacement=replacement, mechanism=self.impl
@@ -356,6 +365,10 @@ class ScenarioOutcome:
     speculations: float = 0.0
     restarts: int = 0
     max_recovery_s: float = 0.0
+    # Controller-mode extras: how many remediations the control plane
+    # executed and verified, and the slowest detection-to-verified time.
+    remediations: int = 0
+    remediation_mttr_s: float = 0.0
     # Aggregated blame fractions across every recovery the run performed
     # (detection/transfer/merge/replay/control/queueing, summing to 1.0) —
     # the "why was this cell degraded" answer, straight from the profiler.
@@ -377,6 +390,8 @@ class ScenarioOutcome:
             "speculations": self.speculations,
             "restarts": self.restarts,
             "max_recovery_s": round(self.max_recovery_s, 6),
+            "remediations": self.remediations,
+            "remediation_mttr_s": round(self.remediation_mttr_s, 6),
             "blame": {k: round(self.blame[k], 6) for k in sorted(self.blame)},
             "errors": list(self.errors),
             "hard_violations": {k: list(v) for k, v in self.hard_violations.items()},
@@ -449,13 +464,67 @@ class ResilienceReport:
 # --------------------------------------------------------------------- runner
 
 
+def _attach_controller(engine: ChaosEngine, mechanism: str):
+    """Wire a remediation controller into an engine (controller mode).
+
+    The controller's policy pins proactive recovery to the cell's
+    mechanism so the resilience matrix still compares mechanisms, and its
+    verification step gets the campaign's pre-failure ground truth.
+    A control-plane rewrite resets a state's chain, so the hook re-anchors
+    that ground truth (and the recovery's segment accounting) to the new
+    chain — the invariants audit what the world is *supposed* to hold now.
+    """
+    from repro.control import ControlPlane, Controller, default_policy
+    from repro.state.chain import chain_digest
+
+    world = ControlPlane.from_deployment(engine.deployment)
+    controller = Controller(world, policy=default_policy(mechanism=mechanism))
+    engine.controller = controller
+
+    def reanchor(state_name: str) -> None:
+        registered = engine.manager.states[state_name]
+        chain = registered.chain
+        if chain is None or not chain.links:
+            return
+        num_shards = chain.num_shards
+        checksums = {
+            link_pos * num_shards + shard.index: shard.checksum
+            for link_pos, link in enumerate(chain.links)
+            for shard in link.shards
+        }
+        controller._pre_checksums[state_name] = checksums
+        snapshot = engine.manager.recovered_snapshot(state_name)
+        engine.pre_state[state_name] = {
+            "digest": chain_digest(registered.plan.available_shards()),
+            "chain_length": chain.length,
+            "size_bytes": snapshot.size_bytes,
+            "version": repr(chain.tip_version),
+        }
+        result = engine.results.get(state_name)
+        if result is not None:
+            result.shards_recovered = len(checksums)
+
+    world.on_chain_rewritten = reanchor
+    return controller
+
+
 def run_scenario(
     scenario: Scenario,
     mechanism: str,
     checkers=DEFAULT_CHECKERS,
     trace_name: Optional[str] = None,
+    controller: bool = False,
 ) -> ScenarioOutcome:
-    """Run one scenario under one mechanism and classify the outcome."""
+    """Run one scenario under one mechanism and classify the outcome.
+
+    With ``controller=True`` (SR3 mechanisms only — the checkpointing
+    baseline has no placement plans to reason about) a
+    :class:`~repro.control.Controller` owns the response: owner-loss
+    recoveries route through its policy table during the run, and after
+    quiescence it sweeps the world for residual damage — thinned
+    replicas, degraded hosts, over-long chains — remediating until the
+    invariants hold.
+    """
     # Chaos runs always trace: the blame breakdown of each cell needs the
     # span forest. Without an explicit trace_name the tracer stays local to
     # this run (nothing lands in the process-wide collector).
@@ -469,8 +538,21 @@ def run_scenario(
         trace_name=trace_name,
     )
     engine = ChaosEngine(deployment, scenario, mechanism)
+    ctl = None
+    if controller and mechanism != "checkpointing":
+        ctl = _attach_controller(engine, mechanism)
     pre_checksums = engine.setup_states()
+    if ctl is not None:
+        ctl.bind_ground_truth(
+            results=engine.results,
+            pre_checksums=pre_checksums,
+            pre_state=engine.pre_state,
+            mechanism=mechanism,
+        )
     engine.run()
+    if ctl is not None:
+        ctl.sweep()
+        engine.sim.run_until_idle()
     run = RunContext(
         scenario=scenario,
         mechanism=mechanism,
@@ -481,7 +563,14 @@ def run_scenario(
         pre_state=engine.pre_state,
     )
     report = check_invariants(run, checkers)
-    return _classify(run, report)
+    outcome = _classify(run, report)
+    if ctl is not None:
+        verified = [r for r in ctl.records if r.verified]
+        outcome.remediations = len(verified)
+        outcome.remediation_mttr_s = max(
+            (r.mttr_s for r in verified if r.mttr_s is not None), default=0.0
+        )
+    return outcome
 
 
 def _aggregate_blame(tracer) -> Dict[str, float]:
@@ -545,13 +634,16 @@ def run_campaign(
     seed: Optional[int] = None,
     checkers=DEFAULT_CHECKERS,
     trace_name: Optional[str] = None,
+    controller: bool = False,
 ) -> ResilienceReport:
     """Sweep scenarios × mechanisms and fold outcomes into one report.
 
     ``scenarios`` overrides the named campaign's list; ``mechanisms``
     overrides each scenario's own sweep; ``seed`` re-seeds every scenario
     (for replication studies — the default keeps each scenario's own
-    seed, so the shipped campaigns are reproducible as published).
+    seed, so the shipped campaigns are reproducible as published);
+    ``controller`` hands each SR3 cell's response to the auto-remediation
+    control plane (see :func:`run_scenario`).
     """
     if scenarios is None:
         scenarios = campaign_scenarios(campaign)
@@ -563,7 +655,11 @@ def run_campaign(
         for mechanism in sweep:
             report.outcomes.append(
                 run_scenario(
-                    scenario, mechanism, checkers=checkers, trace_name=trace_name
+                    scenario,
+                    mechanism,
+                    checkers=checkers,
+                    trace_name=trace_name,
+                    controller=controller,
                 )
             )
     return report

@@ -1,0 +1,524 @@
+"""Remediation actions: what the control plane can actually do.
+
+Every action follows the same contract: ``execute(world, diagnosis)``
+inspects the *current* world first and returns ``changed=False`` when the
+condition is already gone — actions are idempotent, so the controller can
+retry them freely. Execution drives the simulator to quiescence before
+reporting, so an outcome reflects landed bytes, not scheduled intentions.
+
+The catalog:
+
+- :class:`RecoverState` (``recover``) — proactive recovery of a state
+  whose owner died, through :meth:`RecoveryManager.recover`, using the
+  Fig. 7 selection-recommended mechanism unless the policy pins one.
+- :class:`ReReplicate` (``re-replicate``) — copy thin chain segments from
+  a surviving provider onto fresh nodes until every segment is back at
+  the configured replication factor. Copies preserve shard checksums and
+  the chain structure (this is *not* a new save round).
+- :class:`RewriteState` (``rewrite``) — a fresh full save of the current
+  reconstructed image: resets the chain, restores full replication.
+- :class:`CompactChain` (``compact-chain``) — rewrite, but a no-op unless
+  the state actually carries a multi-link chain.
+- :class:`RebalanceNode` (``rebalance``) — move replicas off a flagged
+  node (all of them for a flaky node, the excess for a hot shard).
+- :class:`EvictNode` (``evict-node``) — rebalance everything away, then
+  remove the node from the ring (refuses to evict a state owner).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.control.diagnose import Diagnosis, link_plans
+from repro.errors import ConfigError, OverlayError, ReproError
+from repro.state.placement import PlacedShard
+from repro.state.shard import ShardReplica
+
+#: Flow tag stamped on every byte the control plane moves.
+CONTROL_TAG = "control.copy"
+
+
+@dataclass(frozen=True)
+class ActionOutcome:
+    """What one action execution did (or why it could not)."""
+
+    action: str
+    ok: bool
+    changed: bool
+    details: Tuple[Tuple[str, object], ...] = ()
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "action": self.action,
+            "ok": self.ok,
+            "changed": self.changed,
+            "details": {k: v for k, v in self.details},
+            "error": self.error,
+        }
+
+
+class Action:
+    """Base class: a named, parameterized remediation."""
+
+    name = "action"
+
+    def __init__(self, **params) -> None:
+        self.params = params
+
+    def execute(
+        self, world, diagnosis: Diagnosis, parent_span=None
+    ) -> ActionOutcome:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- helpers
+
+    def _ok(self, changed: bool, **details) -> ActionOutcome:
+        return ActionOutcome(
+            action=self.name,
+            ok=True,
+            changed=changed,
+            details=tuple(sorted(details.items())),
+        )
+
+    def _fail(self, error: str, **details) -> ActionOutcome:
+        return ActionOutcome(
+            action=self.name,
+            ok=False,
+            changed=False,
+            details=tuple(sorted(details.items())),
+            error=error,
+        )
+
+
+ACTIONS: Dict[str, type] = {}
+
+
+def register_action(cls):
+    """Register an action class under its ``name`` (tests add their own)."""
+    ACTIONS[cls.name] = cls
+    return cls
+
+
+def build_action(name: str, **params) -> Action:
+    """Instantiate a registered action by policy-table name."""
+    cls = ACTIONS.get(name)
+    if cls is None:
+        raise ConfigError(f"unknown action {name!r}; known: {sorted(ACTIONS)}")
+    return cls(**params)
+
+
+def _node_by_name(world, name: Optional[str]):
+    for node in world.overlay.nodes:
+        if node.name == name:
+            return node
+    return None
+
+
+def _pick_target(world, exclude_ids, pending: Dict[str, int]):
+    """The least-loaded eligible alive node (deterministic tie-break).
+
+    ``pending`` counts replicas this action already routed to each node
+    but whose transfers have not landed yet, so one action round spreads
+    its copies instead of piling everything on the emptiest node.
+    """
+    candidates = [
+        node
+        for node in world.overlay.alive_nodes()
+        if node.node_id not in exclude_ids
+    ]
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda n: (n.stored_shard_count() + pending.get(n.name, 0), n.name),
+    )
+
+
+def _copy_replica(world, source_node, target_node, replica, parent_span=None) -> None:
+    """Ship one replica's bytes and install it on arrival."""
+
+    def arrived(flow, key=replica.key, rep=replica, node=target_node):
+        node.store_shard(key, rep)
+
+    world.network.transfer(
+        source_node.host,
+        target_node.host,
+        replica.size_bytes,
+        on_complete=arrived,
+        tag=CONTROL_TAG,
+        parent_span=parent_span,
+    )
+
+
+_MECHANISM_FACTORIES = None
+
+
+def _mechanism_instance(name: str):
+    """A fresh mechanism implementation for a pinned policy name."""
+    global _MECHANISM_FACTORIES
+    if _MECHANISM_FACTORIES is None:
+        from repro.recovery.line import LineRecovery
+        from repro.recovery.speculation import SpeculativeStarRecovery
+        from repro.recovery.star import StarRecovery
+        from repro.recovery.tree import TreeRecovery
+
+        _MECHANISM_FACTORIES = {
+            "star": StarRecovery,
+            "line": LineRecovery,
+            "tree": TreeRecovery,
+            "speculation": SpeculativeStarRecovery,
+        }
+    factory = _MECHANISM_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown mechanism {name!r}; known: {sorted(_MECHANISM_FACTORIES)}"
+        )
+    return factory()
+
+
+@register_action
+class RecoverState(Action):
+    """Recover an owner-lost state onto a replacement node.
+
+    ``mechanism`` (param) pins a mechanism by name; otherwise the manager
+    runs the Fig. 7 selection heuristic for the state. :meth:`begin`
+    starts the recovery and returns the handle without driving the
+    simulator — the chaos engine uses it so mid-recovery fault injectors
+    still see the recovery in flight; :meth:`execute` is the synchronous
+    form the controller's sweep uses.
+    """
+
+    name = "recover"
+
+    def begin(self, world, diagnosis: Diagnosis, replacement=None, parent_span=None):
+        state_name = diagnosis.state
+        registered = world.manager.states[state_name]
+        if replacement is None:
+            replacement = world.overlay.replacement_for(registered.owner)
+        pinned = self.params.get("mechanism")
+        impl = (
+            _mechanism_instance(pinned)
+            if pinned is not None
+            else world.manager.mechanism_for(state_name)
+        )
+        handle = world.manager.recover(
+            state_name,
+            replacement=replacement,
+            mechanism=impl,
+            parent_span=parent_span,
+        )
+
+        def handover(result, reg=registered, node=replacement) -> None:
+            reg.owner = node
+
+        handle.on_done(handover)
+        return handle
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        state_name = diagnosis.state
+        registered = world.manager.states.get(state_name)
+        if registered is None:
+            return self._fail(f"unknown state {state_name!r}")
+        if registered.plan is None:
+            return self._fail(f"state {state_name!r} was never saved")
+        if registered.owner.alive:
+            return self._ok(changed=False, owner=registered.owner.name)
+        try:
+            handle = self.begin(world, diagnosis, parent_span=parent_span)
+            world.sim.run_until_idle()
+            result = handle.result
+        except (ReproError, OverlayError) as exc:
+            return self._fail(str(exc))
+        return self._ok(
+            changed=True,
+            mechanism=result.mechanism,
+            replacement=result.replacement,
+            duration_s=round(result.duration, 6),
+        )
+
+
+@register_action
+class ReReplicate(Action):
+    """Copy thin segments back up to the configured replication factor."""
+
+    name = "re-replicate"
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        state_name = diagnosis.state
+        registered = world.manager.states.get(state_name)
+        if registered is None:
+            return self._fail(f"unknown state {state_name!r}")
+        plans = link_plans(registered)
+        if not plans:
+            return self._fail(f"state {state_name!r} was never saved")
+        pending: Dict[str, int] = {}
+        copies = 0
+        for plan in plans:
+            for index in plan.shard_indexes():
+                providers = plan.providers_for(index)
+                if len(providers) >= registered.num_replicas:
+                    continue
+                if not providers:
+                    return self._fail(
+                        f"segment {index} of {state_name!r} has no surviving "
+                        f"replica; only a full recovery from another source "
+                        f"can help"
+                    )
+                source = providers[0]
+                held = {p.replica.replica_index for p in providers}
+                occupied = {p.node.node_id for p in plan.for_shard(index)}
+                if plan.owner is not None:
+                    occupied.add(plan.owner.node_id)
+                for replica_index in range(registered.num_replicas):
+                    if replica_index in held:
+                        continue
+                    target = _pick_target(world, occupied, pending)
+                    if target is None:
+                        return self._fail(
+                            f"no eligible node left to host a replica of "
+                            f"segment {index} of {state_name!r}"
+                        )
+                    replica = ShardReplica(
+                        source.replica.shard, replica_index, registered.num_replicas
+                    )
+                    _copy_replica(world, source.node, target, replica, parent_span)
+                    plan.placements.append(PlacedShard(replica, target))
+                    occupied.add(target.node_id)
+                    pending[target.name] = pending.get(target.name, 0) + 1
+                    copies += 1
+        if copies == 0:
+            return self._ok(changed=False)
+        world.sim.run_until_idle()
+        for plan in plans:
+            for index in plan.shard_indexes():
+                if len(plan.providers_for(index)) < registered.num_replicas:
+                    return self._fail(
+                        f"segment {index} of {state_name!r} still thin after "
+                        f"re-replication"
+                    )
+        return self._ok(changed=True, copies=copies)
+
+
+@register_action
+class RewriteState(Action):
+    """A fresh full save of the reconstructed image (resets the chain)."""
+
+    name = "rewrite"
+
+    def _rewrite(self, world, registered) -> ActionOutcome:
+        from repro.state.partitioner import partition_snapshot, partition_synthetic
+        from repro.state.version import StateVersion
+
+        state_name = registered.state_name
+        if not registered.owner.alive:
+            return self._fail(
+                f"owner of {state_name!r} is dead; recover it before rewriting"
+            )
+        try:
+            snapshot = world.manager.recovered_snapshot(state_name)
+            num_shards = (
+                registered.chain.num_shards
+                if registered.chain is not None and registered.chain.links
+                else len(registered.shards)
+            )
+            if len(snapshot) == 0 and snapshot.size_bytes > 0:
+                # Synthetic state: carry the byte size forward, bump the
+                # version so the rewrite is distinguishable from the image
+                # it folded.
+                version = StateVersion(
+                    world.sim.now, snapshot.version.sequence + 1
+                )
+                shards = partition_synthetic(
+                    state_name, int(snapshot.size_bytes), num_shards, version
+                )
+            else:
+                shards = partition_snapshot(snapshot, num_shards)
+            world.manager.refresh_shards(state_name, shards)
+            handle = world.manager.save(state_name)
+            world.sim.run_until_idle()
+            result = handle.result
+        except ReproError as exc:
+            return self._fail(str(exc))
+        rewritten = getattr(world, "on_chain_rewritten", None)
+        if rewritten is not None:
+            rewritten(state_name)
+        return self._ok(
+            changed=True,
+            chain_length=registered.chain.length,
+            duration_s=round(result.duration, 6),
+        )
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        registered = world.manager.states.get(diagnosis.state)
+        if registered is None:
+            return self._fail(f"unknown state {diagnosis.state!r}")
+        if registered.plan is None:
+            return self._fail(f"state {diagnosis.state!r} was never saved")
+        return self._rewrite(world, registered)
+
+
+@register_action
+class CompactChain(RewriteState):
+    """Fold a too-long version chain into a fresh single-link base."""
+
+    name = "compact-chain"
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        registered = world.manager.states.get(diagnosis.state)
+        if registered is None:
+            return self._fail(f"unknown state {diagnosis.state!r}")
+        chain = registered.chain
+        if chain is None or chain.length <= 1:
+            return self._ok(changed=False)
+        return self._rewrite(world, registered)
+
+
+@register_action
+class RebalanceNode(Action):
+    """Move replicas off a flagged node.
+
+    A ``flaky-node`` diagnosis (node-scoped) drains every replica the node
+    holds for registered states; a ``hot-shard`` diagnosis (state +
+    node) moves only the excess above the state's per-node mean.
+    """
+
+    name = "rebalance"
+
+    def _moves_for(self, world, node, diagnosis: Diagnosis) -> List[Tuple[object, object, PlacedShard]]:
+        moves: List[Tuple[object, object, PlacedShard]] = []
+        names = (
+            [diagnosis.state]
+            if diagnosis.state is not None
+            else sorted(world.manager.states)
+        )
+        for state_name in names:
+            registered = world.manager.states.get(state_name)
+            if registered is None:
+                continue
+            held: List[Tuple[object, PlacedShard]] = []
+            for plan in link_plans(registered):
+                for placed in list(plan.placements):
+                    if (
+                        placed.node.node_id == node.node_id
+                        and node.get_shard(placed.replica.key) is not None
+                    ):
+                        held.append((plan, placed))
+            held.sort(key=lambda pair: repr(pair[1].replica.key))
+            keep = 0
+            if diagnosis.condition == "hot-shard":
+                # Only shed the excess above the state's per-node mean.
+                counts: Dict[str, int] = {}
+                for plan in link_plans(registered):
+                    for placed in plan.placements:
+                        if placed.node.alive and placed.node.get_shard(
+                            placed.replica.key
+                        ):
+                            counts[placed.node.name] = (
+                                counts.get(placed.node.name, 0) + 1
+                            )
+                if counts:
+                    keep = int(math.ceil(sum(counts.values()) / len(counts)))
+            for plan, placed in held[keep:]:
+                moves.append((registered, plan, placed))
+        return moves
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        node = _node_by_name(world, diagnosis.node)
+        if node is None or not node.alive:
+            return self._ok(changed=False)
+        moves = self._moves_for(world, node, diagnosis)
+        if not moves:
+            return self._ok(changed=False)
+        pending: Dict[str, int] = {}
+        moved = 0
+        for registered, plan, placed in moves:
+            replica = placed.replica
+            occupied = {
+                p.node.node_id for p in plan.for_shard(replica.shard.index)
+            }
+            if plan.owner is not None:
+                occupied.add(plan.owner.node_id)
+            target = _pick_target(world, occupied, pending)
+            if target is None:
+                return self._fail(
+                    f"no eligible node to absorb {replica.key!r} from {node.name}"
+                )
+
+            def relocated(
+                flow,
+                key=replica.key,
+                rep=replica,
+                src=node,
+                dst=target,
+                the_plan=plan,
+                old=placed,
+            ) -> None:
+                dst.store_shard(key, rep)
+                src.drop_shard(key)
+                the_plan.placements.remove(old)
+                the_plan.placements.append(PlacedShard(rep, dst))
+
+            world.network.transfer(
+                node.host,
+                target.host,
+                replica.size_bytes,
+                on_complete=relocated,
+                tag=CONTROL_TAG,
+                parent_span=parent_span,
+            )
+            pending[target.name] = pending.get(target.name, 0) + 1
+            moved += 1
+        world.sim.run_until_idle()
+        leftovers = self._moves_for(world, node, diagnosis)
+        if leftovers:
+            return self._fail(
+                f"{len(leftovers)} replicas still on {node.name} after rebalance"
+            )
+        return self._ok(changed=True, moved=moved, drained=node.name)
+
+
+@register_action
+class EvictNode(Action):
+    """Drain a chronically degraded node, then remove it from the ring."""
+
+    name = "evict-node"
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        node = _node_by_name(world, diagnosis.node)
+        if node is None or not node.alive:
+            return self._ok(changed=False)
+        owners = [
+            name
+            for name in sorted(world.manager.states)
+            if world.manager.states[name].owner.node_id == node.node_id
+        ]
+        if owners:
+            return self._fail(
+                f"{node.name} owns {owners}; recover or migrate ownership "
+                f"before eviction"
+            )
+        drain = RebalanceNode().execute(world, diagnosis, parent_span=parent_span)
+        if not drain.ok:
+            return self._fail(f"drain failed: {drain.error}")
+        world.overlay.fail_node(node, repair=True)
+        world.sim.run_until_idle()
+        return self._ok(changed=True, evicted=node.name)
+
+
+__all__ = [
+    "ACTIONS",
+    "Action",
+    "ActionOutcome",
+    "CompactChain",
+    "CONTROL_TAG",
+    "EvictNode",
+    "ReReplicate",
+    "RebalanceNode",
+    "RecoverState",
+    "RewriteState",
+    "build_action",
+    "register_action",
+]

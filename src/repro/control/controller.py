@@ -1,0 +1,459 @@
+"""The closed-loop remediation controller.
+
+One :class:`Controller` iteration (:meth:`Controller.step`) is the classic
+auto-remediation shape: **observe** (drain detector events, scan for
+degraded links) → **diagnose** (:mod:`repro.control.diagnose`) → **plan**
+(first matching :class:`~repro.control.policy.PolicyRule`) → **execute**
+(:mod:`repro.control.actions`) → **verify** (the condition must be gone
+*and* the chaos invariant checkers must hold). Verification failure
+retries the action up to the rule's budget, then runs the rule's
+escalation action; a condition that survives escalation is parked so the
+loop always terminates.
+
+Every remediation is timed on the simulated clock from the moment its
+condition was detected to the moment verification passed — the MTTR the
+``remediate`` benchmark reports. The controller traces ``control.loop`` /
+``control.action`` / ``control.verify`` spans and feeds ``control.*``
+counters plus a ``control.mttr_s`` histogram into the simulation's
+metrics registry.
+
+:class:`ControlPlane` is the thin world adapter the controller acts
+through; build one with :meth:`ControlPlane.from_deployment` (bench/chaos
+deployments) or :meth:`ControlPlane.from_sr3` (the public façade — see
+:meth:`repro.api.SR3.attach_controller`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.control.actions import ActionOutcome, RecoverState, build_action
+from repro.control.diagnose import Diagnosis, _detection_time, diagnose
+from repro.control.events import ControlEvent, EventLog, watch_detector
+from repro.control.policy import PolicyRule, PolicyTable, default_policy
+from repro.errors import RecoveryError
+
+
+@dataclass
+class ControlConfig:
+    """Loop-wide knobs (per-condition policy lives in the table)."""
+
+    #: Iteration budget for :meth:`Controller.run` — each iteration handles
+    #: every fresh diagnosis, so this bounds cascades, not conditions.
+    max_rounds: int = 8
+    #: A host below this fraction of its nominal bandwidth is flaky.
+    flaky_bw_fraction: float = 0.5
+    #: A node holding this multiple of a state's per-node mean replica
+    #: count is a hot shard.
+    hot_shard_factor: float = 3.0
+    #: Run the chaos invariant checkers as part of verification.
+    verify_invariants: bool = True
+
+
+@dataclass
+class ControlPlane:
+    """Everything the controller observes and acts through."""
+
+    sim: object
+    network: object
+    overlay: object
+    manager: object
+    detector: Optional[object] = None
+    #: Fired after a control-plane rewrite resets a state's chain, so an
+    #: embedding that keeps pre-failure ground truth (the chaos engine)
+    #: can re-anchor it to the new chain.
+    on_chain_rewritten: Optional[Callable[[str], None]] = None
+
+    @classmethod
+    def from_deployment(cls, deployment, detector=None) -> "ControlPlane":
+        """Adapt a bench/chaos deployment (``repro.bench.harness.Scenario``)."""
+        return cls(
+            sim=deployment.sim,
+            network=deployment.network,
+            overlay=deployment.overlay,
+            manager=deployment.manager,
+            detector=detector,
+        )
+
+    @classmethod
+    def from_sr3(cls, sr3, detector=None) -> "ControlPlane":
+        """Adapt the public :class:`repro.api.SR3` façade."""
+        return cls(
+            sim=sr3.ctx.sim,
+            network=sr3.ctx.network,
+            overlay=sr3.ctx.overlay,
+            manager=sr3.manager,
+            detector=detector,
+        )
+
+
+@dataclass
+class RemediationRecord:
+    """One diagnosis's journey through the loop."""
+
+    diagnosis: Diagnosis
+    action: str
+    attempts: int = 0
+    escalated: bool = False
+    verified: bool = False
+    resolved_at: Optional[float] = None
+    outcomes: List[ActionOutcome] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def mttr_s(self) -> Optional[float]:
+        """Detection to verified-healthy, on the simulated clock."""
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.diagnosis.detected_at
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "diagnosis": self.diagnosis.to_dict(),
+            "action": self.action,
+            "attempts": self.attempts,
+            "escalated": self.escalated,
+            "verified": self.verified,
+            "resolved_at": (
+                round(self.resolved_at, 6) if self.resolved_at is not None else None
+            ),
+            "mttr_s": round(self.mttr_s, 6) if self.mttr_s is not None else None,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "violations": list(self.violations),
+        }
+
+
+class Controller:
+    """Policy-driven auto-remediation over one deployment."""
+
+    def __init__(
+        self,
+        world: ControlPlane,
+        policy: Optional[PolicyTable] = None,
+        config: Optional[ControlConfig] = None,
+        checkers=None,
+    ) -> None:
+        self.world = world
+        self.policy = policy if policy is not None else default_policy()
+        self.config = config or ControlConfig()
+        self._checkers = checkers
+        self.log = EventLog()
+        self.records: List[RemediationRecord] = []
+        #: In-flight owner-loss remediations started via :meth:`begin_owner_loss`.
+        self._open: Dict[str, Tuple[RemediationRecord, PolicyRule]] = {}
+        self._parked: Set[Tuple[str, str, str]] = set()
+        self._degraded_seen: Set[str] = set()
+        # Verification context beyond the live world: recovery results and
+        # pre-failure ground truth, bound by the chaos engine.
+        self._results: Dict[str, object] = {}
+        self._pre_checksums: Dict[str, Dict[int, str]] = {}
+        self._pre_state: Dict[str, Dict[str, object]] = {}
+        self._mechanism = "control"
+        if world.detector is not None:
+            watch_detector(world.detector, self.log)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        if value:
+            self.world.sim.metrics.counter(f"control.{name}").add(value)
+
+    def checkers(self):
+        if self._checkers is None:
+            from repro.chaos.invariants import DEFAULT_CHECKERS
+
+            self._checkers = DEFAULT_CHECKERS
+        return self._checkers
+
+    def bind_ground_truth(
+        self,
+        results: Optional[Dict[str, object]] = None,
+        pre_checksums: Optional[Dict[str, Dict[int, str]]] = None,
+        pre_state: Optional[Dict[str, Dict[str, object]]] = None,
+        mechanism: Optional[str] = None,
+    ) -> None:
+        """Give verification the pre-failure ground truth a campaign holds.
+
+        With ground truth bound, the verify step audits recovered shard
+        checksums and chain digests — not just the self-contained world
+        invariants.
+        """
+        if results is not None:
+            self._results = results
+        if pre_checksums is not None:
+            self._pre_checksums = pre_checksums
+        if pre_state is not None:
+            self._pre_state = pre_state
+        if mechanism is not None:
+            self._mechanism = mechanism
+
+    def _check_context(self):
+        """A duck-typed ``RunContext`` for the invariant checkers."""
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            scenario=SimpleNamespace(latency_bound=float("inf")),
+            mechanism=self._mechanism,
+            engine=SimpleNamespace(
+                manager=self.world.manager,
+                overlay=self.world.overlay,
+                network=self.world.network,
+                sim=self.world.sim,
+            ),
+            results=self._results,
+            errors=[],
+            pre_checksums=self._pre_checksums,
+            pre_state=self._pre_state,
+        )
+
+    # ------------------------------------------------------------- the loop
+
+    def observe(self) -> List[ControlEvent]:
+        """Drain fresh events and scan for newly degraded hosts."""
+        events = self.log.drain()
+        now = self.world.sim.now
+        degraded = getattr(self.world.network, "degraded_hosts", None)
+        if degraded is not None:
+            current = {host.name: frac for host, frac in degraded(self.config.flaky_bw_fraction)}
+            self._degraded_seen &= set(current)  # recovered hosts may re-flag
+            for name in sorted(current):
+                if name in self._degraded_seen:
+                    continue
+                self._degraded_seen.add(name)
+                self.log.emit(
+                    ControlEvent(
+                        kind="node-degraded",
+                        at=now,
+                        node=name,
+                        attrs=(("bw_fraction", round(current[name], 6)),),
+                    )
+                )
+            events.extend(self.log.drain())
+        self._count("events", len(events))
+        return events
+
+    def diagnose(self, events=()) -> List[Diagnosis]:
+        return diagnose(
+            self.world,
+            events,
+            flaky_bw_fraction=self.config.flaky_bw_fraction,
+            hot_shard_factor=self.config.hot_shard_factor,
+        )
+
+    def step(self) -> List[RemediationRecord]:
+        """One full observe → diagnose → plan → execute → verify pass."""
+        tracer = self.world.sim.tracer
+        span = tracer.start("control loop", category="control.loop")
+        events = self.observe()
+        fresh = [
+            d
+            for d in self.diagnose(events)
+            if self._key(d) not in self._parked and d.state not in self._open
+        ]
+        self._count("diagnoses", len(fresh))
+        handled: List[RemediationRecord] = []
+        for diagnosis in fresh:
+            record = self._remediate(diagnosis)
+            if record is not None:
+                handled.append(record)
+        span.finish(remediations=len(handled))
+        return handled
+
+    def run(self, max_rounds: Optional[int] = None) -> List[RemediationRecord]:
+        """Iterate :meth:`step` until the world is clean (or budget spent)."""
+        rounds = max_rounds if max_rounds is not None else self.config.max_rounds
+        handled: List[RemediationRecord] = []
+        for _ in range(rounds):
+            batch = self.step()
+            if not batch:
+                break
+            handled.extend(batch)
+        return handled
+
+    @staticmethod
+    def _key(diagnosis: Diagnosis) -> Tuple[str, str, str]:
+        return (diagnosis.condition, diagnosis.subject, diagnosis.node or "")
+
+    def _remediate(self, diagnosis: Diagnosis) -> Optional[RemediationRecord]:
+        rule = self.policy.lookup(diagnosis)
+        if rule is None:
+            self._count("unmatched")
+            self._parked.add(self._key(diagnosis))
+            return None
+        record = RemediationRecord(diagnosis=diagnosis, action=rule.action)
+        self.records.append(record)
+        action = build_action(rule.action, **{k: v for k, v in rule.params})
+        for attempt in range(rule.max_retries + 1):
+            if attempt:
+                self._count("retries")
+            if self._execute(record, action, diagnosis) and self._verify(
+                record, diagnosis
+            ):
+                self._resolve(record)
+                return record
+        if rule.escalation is not None:
+            record.escalated = True
+            self._count("escalations")
+            escalation = build_action(rule.escalation)
+            if self._execute(record, escalation, diagnosis) and self._verify(
+                record, diagnosis
+            ):
+                self._resolve(record)
+                return record
+        self._parked.add(self._key(diagnosis))
+        self._count("unresolved")
+        return record
+
+    def _execute(self, record: RemediationRecord, action, diagnosis: Diagnosis) -> bool:
+        tracer = self.world.sim.tracer
+        span = tracer.start(
+            f"control {action.name} {diagnosis.subject}",
+            category="control.action",
+            condition=diagnosis.condition,
+        )
+        outcome = action.execute(self.world, diagnosis, parent_span=span)
+        span.finish(ok=outcome.ok, changed=outcome.changed)
+        record.attempts += 1
+        record.outcomes.append(outcome)
+        self._count("actions")
+        return outcome.ok
+
+    def _verify(self, record: RemediationRecord, diagnosis: Diagnosis) -> bool:
+        """The condition must be gone and the hard invariants must hold."""
+        tracer = self.world.sim.tracer
+        span = tracer.start(
+            f"control verify {diagnosis.subject}", category="control.verify"
+        )
+        self._count("verifications")
+        ok = True
+        for current in self.diagnose():
+            if self._key(current) == self._key(diagnosis):
+                record.violations.append(
+                    f"{diagnosis.condition} persists on {diagnosis.subject}"
+                )
+                ok = False
+                break
+        if ok and self.config.verify_invariants:
+            from repro.chaos.invariants import check_invariants
+
+            report = check_invariants(self._check_context(), self.checkers())
+            for name in sorted(report.hard_violations):
+                for message in report.hard_violations[name]:
+                    record.violations.append(f"{name}: {message}")
+                    ok = False
+        span.finish(ok=ok)
+        return ok
+
+    def _resolve(self, record: RemediationRecord) -> None:
+        record.verified = True
+        record.resolved_at = self.world.sim.now
+        self._count("verified")
+        mttr = record.mttr_s
+        if mttr is not None:
+            self.world.sim.metrics.histogram("control.mttr_s").observe(mttr)
+
+    # ------------------------------------------- asynchronous (campaign) mode
+
+    def begin_owner_loss(
+        self,
+        state_name: str,
+        replacement=None,
+        mechanism: Optional[str] = None,
+    ):
+        """Plan and *start* an owner-loss remediation, without blocking.
+
+        The chaos engine drives the simulator itself (so mid-recovery
+        fault injectors see the recovery in flight) and the remediation is
+        verified later by :meth:`sweep`. Calling again for the same state
+        (the engine's restart path after a replacement death) re-executes
+        the same remediation record. Returns the recovery handle; raises
+        :class:`RecoveryError` when no policy rule covers the loss or the
+        matched rule is not a recovery.
+        """
+        registered = self.world.manager.states[state_name]
+        open_entry = self._open.get(state_name)
+        if open_entry is None:
+            diagnosis = Diagnosis(
+                condition="owner-lost",
+                severity="critical",
+                detected_at=_detection_time(
+                    self.world, registered.owner, self.world.sim.now
+                ),
+                state=state_name,
+                evidence=(("owner", registered.owner.name),),
+            )
+            rule = self.policy.lookup(diagnosis)
+            if rule is None:
+                raise RecoveryError(
+                    f"no policy rule matches owner-lost for {state_name!r}"
+                )
+            record = RemediationRecord(diagnosis=diagnosis, action=rule.action)
+            self.records.append(record)
+            self._open[state_name] = (record, rule)
+        else:
+            record, rule = open_entry
+        params = {k: v for k, v in rule.params}
+        if mechanism is not None:
+            params["mechanism"] = mechanism
+        action = build_action(rule.action, **params)
+        if not isinstance(action, RecoverState):
+            raise RecoveryError(
+                f"policy maps owner-lost to {rule.action!r}, which cannot "
+                f"recover a state"
+            )
+        handle = action.begin(
+            self.world, record.diagnosis, replacement=replacement
+        )
+        record.attempts += 1
+        self._count("actions")
+        return handle
+
+    def sweep(self, max_rounds: Optional[int] = None) -> List[RemediationRecord]:
+        """Post-quiescence pass: settle in-flight remediations, then loop."""
+        for state_name in sorted(self._open):
+            record, rule = self._open.pop(state_name)
+            if self._verify(record, record.diagnosis):
+                self._resolve(record)
+            else:
+                self._parked.add(self._key(record.diagnosis))
+                self._count("unresolved")
+        return self.run(max_rounds)
+
+    # --------------------------------------------------------------- report
+
+    def report(self) -> Dict[str, object]:
+        """A deterministic summary of everything the loop did."""
+        ordered = sorted(
+            self.records,
+            key=lambda r: (
+                r.diagnosis.detected_at,
+                r.diagnosis.condition,
+                r.diagnosis.subject,
+            ),
+        )
+        mttrs = [r.mttr_s for r in ordered if r.mttr_s is not None]
+        verified = sum(1 for r in ordered if r.verified)
+        return {
+            "format": "sr3-control-1",
+            "summary": {
+                "remediations": len(ordered),
+                "verified": verified,
+                "escalated": sum(1 for r in ordered if r.escalated),
+                "unresolved": len(ordered) - verified,
+                "actions": sum(r.attempts for r in ordered),
+                "max_mttr_s": round(max(mttrs), 6) if mttrs else 0.0,
+                "mean_mttr_s": (
+                    round(sum(mttrs) / len(mttrs), 6) if mttrs else 0.0
+                ),
+            },
+            "records": [r.to_dict() for r in ordered],
+        }
+
+
+__all__ = [
+    "ControlConfig",
+    "ControlPlane",
+    "Controller",
+    "RemediationRecord",
+]

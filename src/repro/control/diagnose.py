@@ -1,0 +1,264 @@
+"""Turning observations into named, actionable conditions.
+
+A :class:`Diagnosis` is the control plane's unit of work: one condition
+(from :data:`CONDITIONS`), one subject (a protected state or an overlay
+node), a severity, and the evidence that justified it. The
+:func:`diagnose` scan reads the *actual* world — the recovery manager's
+registry, placement plans, version chains, the overlay's membership, the
+network's per-host capacity — rather than trusting any event at face
+value: a ``node-failed`` event whose node has since been replaced produces
+no diagnosis.
+
+Conditions, in the order the paper's operational story motivates them:
+
+- ``owner-lost`` — a registered state's owner is dead; the state is
+  unreachable until a recovery lands it on a replacement (critical).
+- ``replica-thin`` — some chain segment has fewer alive providers than
+  the configured replication factor; one more failure may make the state
+  unrecoverable (critical when any segment has a single provider left).
+- ``chain-too-long`` — the version chain violates the compaction policy;
+  recovery replay cost is drifting up.
+- ``flaky-node`` — an alive node's host runs far below its nominal link
+  capacity while holding shard replicas; reads through it drag every
+  recovery that touches it.
+- ``hot-shard`` — one node holds a disproportionate share of a state's
+  replicas; losing it would thin many segments at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.events import ControlEvent
+
+#: Every condition the diagnosis scan can produce.
+CONDITIONS = (
+    "owner-lost",
+    "replica-thin",
+    "chain-too-long",
+    "flaky-node",
+    "hot-shard",
+)
+
+_SEVERITY_RANK = {"critical": 0, "warning": 1}
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """One named condition with its subject and supporting evidence."""
+
+    condition: str
+    severity: str  # "critical" | "warning"
+    detected_at: float
+    state: Optional[str] = None
+    node: Optional[str] = None
+    evidence: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def subject(self) -> str:
+        """What the policy table matches on: the state, else the node."""
+        return self.state if self.state is not None else (self.node or "")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "condition": self.condition,
+            "severity": self.severity,
+            "detected_at": round(self.detected_at, 6),
+            "state": self.state,
+            "node": self.node,
+            "evidence": {k: v for k, v in self.evidence},
+        }
+
+
+def link_plans(registered) -> List[object]:
+    """The flat placement plans behind a registered state, base first.
+
+    A chain-backed state exposes one flat plan per link; a flat state
+    exposes its single plan. States never saved (plan ``None``) yield an
+    empty list — there is nothing placed to reason about.
+    """
+    chain = getattr(registered, "chain", None)
+    if chain is not None and chain.links:
+        return [link.plan for link in chain.links]
+    if registered.plan is None:
+        return []
+    return [registered.plan]
+
+
+def _detection_time(world, node, default: float) -> float:
+    """When the failure of ``node`` was first declared, if a detector ran."""
+    detector = getattr(world, "detector", None)
+    if detector is not None:
+        declared = detector.detected_by_anyone(node)
+        if declared is not None:
+            return declared
+    return default
+
+
+def _diagnose_owner_lost(world, out: List[Diagnosis]) -> None:
+    manager = world.manager
+    for name in sorted(manager.states):
+        registered = manager.states[name]
+        if registered.owner.alive or registered.plan is None:
+            continue
+        out.append(
+            Diagnosis(
+                condition="owner-lost",
+                severity="critical",
+                detected_at=_detection_time(world, registered.owner, world.sim.now),
+                state=name,
+                evidence=(("owner", registered.owner.name),),
+            )
+        )
+
+
+def _diagnose_replica_thin(world, out: List[Diagnosis]) -> None:
+    manager = world.manager
+    for name in sorted(manager.states):
+        registered = manager.states[name]
+        thin: List[Tuple[int, int, int]] = []  # (link, shard index, providers)
+        floor = registered.num_replicas
+        for link_pos, plan in enumerate(link_plans(registered)):
+            for index in plan.shard_indexes():
+                providers = len(plan.providers_for(index))
+                if providers < registered.num_replicas:
+                    thin.append((link_pos, index, providers))
+                    floor = min(floor, providers)
+        if not thin:
+            continue
+        out.append(
+            Diagnosis(
+                condition="replica-thin",
+                severity="critical" if floor <= 1 else "warning",
+                detected_at=world.sim.now,
+                state=name,
+                evidence=(
+                    ("thin_segments", len(thin)),
+                    ("min_providers", floor),
+                    ("num_replicas", registered.num_replicas),
+                ),
+            )
+        )
+
+
+def _diagnose_chain_too_long(world, out: List[Diagnosis]) -> None:
+    manager = world.manager
+    for name in sorted(manager.states):
+        registered = manager.states[name]
+        chain = registered.chain
+        if chain is None or not chain.links:
+            continue
+        if not chain.needs_compaction(manager.compaction):
+            continue
+        out.append(
+            Diagnosis(
+                condition="chain-too-long",
+                severity="warning",
+                detected_at=world.sim.now,
+                state=name,
+                evidence=(
+                    ("chain_length", chain.length),
+                    ("delta_bytes", chain.delta_bytes),
+                    ("base_bytes", chain.base_bytes),
+                ),
+            )
+        )
+
+
+def _diagnose_flaky_node(world, out: List[Diagnosis], flaky_bw_fraction: float) -> None:
+    network = world.network
+    degraded = getattr(network, "degraded_hosts", None)
+    if degraded is None:
+        return
+    by_host: Dict[str, float] = {
+        host.name: fraction for host, fraction in degraded(flaky_bw_fraction)
+    }
+    if not by_host:
+        return
+    for node in sorted(world.overlay.alive_nodes(), key=lambda n: n.name):
+        fraction = by_host.get(node.host.name)
+        if fraction is None or not node.shard_store:
+            continue
+        out.append(
+            Diagnosis(
+                condition="flaky-node",
+                severity="warning",
+                detected_at=world.sim.now,
+                node=node.name,
+                evidence=(
+                    ("bw_fraction", round(fraction, 6)),
+                    ("replicas_held", len(node.shard_store)),
+                ),
+            )
+        )
+
+
+def _diagnose_hot_shard(world, out: List[Diagnosis], hot_shard_factor: float) -> None:
+    manager = world.manager
+    for name in sorted(manager.states):
+        registered = manager.states[name]
+        counts: Dict[str, int] = {}
+        nodes_by_name: Dict[str, object] = {}
+        for plan in link_plans(registered):
+            for placed in plan.placements:
+                if not placed.node.alive:
+                    continue
+                if placed.node.get_shard(placed.replica.key) is None:
+                    continue
+                counts[placed.node.name] = counts.get(placed.node.name, 0) + 1
+                nodes_by_name[placed.node.name] = placed.node
+        if len(counts) < 2:
+            continue
+        mean = sum(counts.values()) / len(counts)
+        for node_name in sorted(counts):
+            held = counts[node_name]
+            if held >= hot_shard_factor * mean and held >= 4:
+                out.append(
+                    Diagnosis(
+                        condition="hot-shard",
+                        severity="warning",
+                        detected_at=world.sim.now,
+                        state=name,
+                        node=node_name,
+                        evidence=(
+                            ("replicas_held", held),
+                            ("mean_per_node", round(mean, 6)),
+                        ),
+                    )
+                )
+
+
+def diagnose(
+    world,
+    events: Sequence[ControlEvent] = (),
+    flaky_bw_fraction: float = 0.5,
+    hot_shard_factor: float = 3.0,
+) -> List[Diagnosis]:
+    """Scan the world (and fresh events) for remediable conditions.
+
+    Returns a deterministic list: critical conditions first, then by
+    condition name and subject — the order the controller works in.
+    ``events`` sharpen timestamps (a detector-declared failure dates an
+    ``owner-lost`` diagnosis at declaration time, not scan time) but never
+    create a diagnosis on their own.
+    """
+    del events  # correlated via world.detector; kept for call-site symmetry
+    out: List[Diagnosis] = []
+    _diagnose_owner_lost(world, out)
+    _diagnose_replica_thin(world, out)
+    _diagnose_chain_too_long(world, out)
+    _diagnose_flaky_node(world, out, flaky_bw_fraction)
+    _diagnose_hot_shard(world, out, hot_shard_factor)
+    out.sort(
+        key=lambda d: (
+            _SEVERITY_RANK.get(d.severity, 9),
+            CONDITIONS.index(d.condition),
+            d.subject,
+            d.node or "",
+        )
+    )
+    return out
+
+
+__all__ = ["CONDITIONS", "Diagnosis", "diagnose", "link_plans"]

@@ -1,0 +1,163 @@
+"""The declarative remediation policy table.
+
+SR3's premise is that recovery is *customizable*; the control plane keeps
+that promise by making remediation policy data, not code. A
+:class:`PolicyTable` is an ordered list of :class:`PolicyRule`\\ s; the
+first rule whose condition, severity filter, and subject glob match a
+diagnosis wins and names the action to run, the retry budget, and the
+escalation action should verification keep failing. Tables round-trip
+through plain dicts, so a deployment can ship its policy next to its
+scenario TOML.
+
+:func:`default_policy` encodes the paper-faithful defaults:
+
+=================  ==============  =====================================
+condition          action          escalation
+=================  ==============  =====================================
+owner-lost         recover         — (nothing is bigger than recovery)
+replica-thin       re-replicate    rewrite (fresh full save round)
+chain-too-long     compact-chain   —
+flaky-node         rebalance       evict-node
+hot-shard          rebalance       —
+=================  ==============  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.control.diagnose import CONDITIONS, Diagnosis
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One row of the table: match filters plus the planned response.
+
+    ``match`` is an ``fnmatch`` glob over the diagnosis subject (state
+    name for state-scoped conditions, node name otherwise); ``severity``
+    of ``None`` matches any. ``params`` are keyword arguments forwarded to
+    the action's constructor (e.g. pinning ``mechanism="tree"`` on a
+    ``recover`` rule).
+    """
+
+    condition: str
+    action: str
+    severity: Optional[str] = None
+    match: str = "*"
+    max_retries: int = 1
+    escalation: Optional[str] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.condition not in CONDITIONS:
+            raise ConfigError(
+                f"unknown condition {self.condition!r}; known: {CONDITIONS}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if isinstance(self.params, dict):
+            object.__setattr__(self, "params", tuple(sorted(self.params.items())))
+        else:
+            object.__setattr__(self, "params", tuple(self.params))
+
+    def matches(self, diagnosis: Diagnosis) -> bool:
+        if diagnosis.condition != self.condition:
+            return False
+        if self.severity is not None and diagnosis.severity != self.severity:
+            return False
+        return fnmatchcase(diagnosis.subject, self.match)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "condition": self.condition,
+            "action": self.action,
+            "severity": self.severity,
+            "match": self.match,
+            "max_retries": self.max_retries,
+            "escalation": self.escalation,
+            "params": {k: v for k, v in self.params},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PolicyRule":
+        spec = dict(data)
+        params = spec.pop("params", {})
+        if isinstance(params, dict):
+            params = tuple(sorted(params.items()))
+        return cls(params=tuple(params), **spec)
+
+
+@dataclass
+class PolicyTable:
+    """An ordered rule list; first match wins."""
+
+    rules: List[PolicyRule] = field(default_factory=list)
+
+    def lookup(self, diagnosis: Diagnosis) -> Optional[PolicyRule]:
+        for rule in self.rules:
+            if rule.matches(diagnosis):
+                return rule
+        return None
+
+    def extend(self, rules: Sequence[PolicyRule]) -> "PolicyTable":
+        """A new table with ``rules`` prepended (overrides first-match)."""
+        return PolicyTable(rules=list(rules) + list(self.rules))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rules": [rule.to_dict() for rule in self.rules]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PolicyTable":
+        return cls(rules=[PolicyRule.from_dict(r) for r in data.get("rules", [])])
+
+
+def default_policy(
+    mechanism: Optional[str] = None, max_retries: int = 1
+) -> PolicyTable:
+    """The shipped policy (see the module docstring's table).
+
+    ``mechanism`` pins proactive recovery to one mechanism name instead of
+    the Fig. 7 selection heuristic — campaign mode uses this so the
+    resilience matrix still compares mechanisms cell by cell.
+    """
+    recover_params: Tuple[Tuple[str, object], ...] = ()
+    if mechanism is not None:
+        recover_params = (("mechanism", mechanism),)
+    return PolicyTable(
+        rules=[
+            PolicyRule(
+                condition="owner-lost",
+                action="recover",
+                max_retries=max(max_retries, 2),
+                params=recover_params,
+            ),
+            PolicyRule(
+                condition="replica-thin",
+                action="re-replicate",
+                max_retries=max_retries,
+                escalation="rewrite",
+            ),
+            PolicyRule(
+                condition="chain-too-long",
+                action="compact-chain",
+                max_retries=max_retries,
+            ),
+            PolicyRule(
+                condition="flaky-node",
+                action="rebalance",
+                max_retries=max_retries,
+                escalation="evict-node",
+            ),
+            PolicyRule(
+                condition="hot-shard",
+                action="rebalance",
+                max_retries=max_retries,
+            ),
+        ]
+    )
+
+
+__all__ = ["PolicyRule", "PolicyTable", "default_policy"]

@@ -72,6 +72,9 @@ BLAME_BY_CATEGORY: Dict[str, str] = {
     "overlay.join": "control",
     "multicast.subscribe": "control",
     "multicast.publish": "control",
+    "control.loop": "control",
+    "control.action": "control",
+    "control.verify": "control",
 }
 
 

@@ -35,6 +35,12 @@ class Mechanism(enum.Enum):
     LINE = "line"
     TREE = "tree"
 
+    def __hash__(self) -> int:
+        # Value-based, so SelectionResult (which compares equal to both a
+        # member and its string value) can satisfy the equal-implies-
+        # equal-hash contract against either key shape.
+        return hash(self.value)
+
 
 class ComputationModel(enum.Enum):
     """Streaming execution models (Sec. 3.1)."""

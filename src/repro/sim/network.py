@@ -71,6 +71,11 @@ class Host:
         self.name = name
         self.up_bw = up_bw
         self.down_bw = down_bw
+        # Provisioned capacity, frozen at construction. Runtime degradation
+        # moves up_bw/down_bw; the nominal values are the yardstick that
+        # tells a degraded link from a merely small one.
+        self.nominal_up_bw = up_bw
+        self.nominal_down_bw = down_bw
         self.latency = latency
         self.alive = True
         self.bytes_sent = 0.0
@@ -79,6 +84,24 @@ class Host:
         self.control_bytes_received = 0.0
         self.active_out: Set["Flow"] = set()
         self.active_in: Set["Flow"] = set()
+
+    def bw_fraction(self) -> float:
+        """Current capacity as a fraction of nominal (the worse direction).
+
+        An unconstrained direction that is still unconstrained counts as
+        1.0; one that has been throttled to a finite rate counts as 0.0 —
+        any finite number is negligible next to ``inf``.
+        """
+
+        def _ratio(current: float, nominal: float) -> float:
+            if math.isinf(nominal):
+                return 1.0 if math.isinf(current) else 0.0
+            return min(current / nominal, 1.0)
+
+        return min(
+            _ratio(self.up_bw, self.nominal_up_bw),
+            _ratio(self.down_bw, self.nominal_down_bw),
+        )
 
     def __repr__(self) -> str:
         return f"Host({self.name})"
@@ -314,6 +337,22 @@ class Network:
         self._dirty_keys.add(("up", host.name))
         self._dirty_keys.add(("down", host.name))
         self._request_recompute()
+
+    def degraded_hosts(self, fraction: float = 0.5) -> List[Tuple[Host, float]]:
+        """Alive hosts running below ``fraction`` of their nominal capacity.
+
+        Returns ``(host, current/nominal)`` pairs sorted by host name — the
+        control plane's flaky-node signal.
+        """
+        out: List[Tuple[Host, float]] = []
+        for name in sorted(self.hosts):
+            host = self.hosts[name]
+            if not host.alive:
+                continue
+            ratio = host.bw_fraction()
+            if ratio < fraction:
+                out.append((host, ratio))
+        return out
 
     # ------------------------------------------------------------------ flows
 

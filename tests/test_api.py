@@ -265,3 +265,49 @@ class TestCreate:
         assert [n.node_id for n in a.overlay.nodes] == [
             n.node_id for n in b.overlay.nodes
         ]
+
+
+class TestDeprecatedDefines:
+    @pytest.mark.parametrize("old", ["star_define", "line_define", "tree_define"])
+    def test_aliases_warn_but_work(self, sr3, old):
+        protect_dict(sr3)
+        with pytest.warns(DeprecationWarning, match=f"SR3.{old} is deprecated"):
+            getattr(sr3, old)("app/state")
+        # The policy still landed despite the warning.
+        assert "app/state" in sr3._policies
+
+    def test_define_does_not_warn(self, sr3, recwarn):
+        protect_dict(sr3)
+        sr3.define("app/state", "star")
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_deprecated_alias_still_recovers(self, sr3):
+        owner, _ = protect_dict(sr3)
+        with pytest.warns(DeprecationWarning):
+            sr3.star_define("app/state", star_fanout=3)
+        sr3.overlay.fail_node(owner)
+        _, result = sr3.recover("app/state")
+        assert result.mechanism == "star"
+        assert result.detail["fanout_bits"] == 3
+
+
+class TestSelectionResultEquality:
+    def test_equal_to_member_and_string(self, sr3):
+        choice = sr3.selection("a", "latency-sensitive", 8 * MB)
+        assert choice == Mechanism.STAR
+        assert choice == "star"
+        assert choice != "line"
+        assert choice != Mechanism.LINE
+
+    def test_hash_consistent_with_both_equalities(self, sr3):
+        choice = sr3.selection("a", "latency-sensitive", 8 * MB)
+        assert hash(choice) == hash("star")
+        assert hash(choice) == hash(Mechanism.STAR)
+
+    def test_set_and_dict_membership(self, sr3):
+        choice = sr3.selection("a", "latency-sensitive", 8 * MB)
+        assert choice in {"star", "line"}
+        assert choice in {Mechanism.STAR}
+        assert {choice: 1}[Mechanism.STAR] == 1
+        assert {choice: 1}["star"] == 1
+        assert {Mechanism.STAR: 2}[choice] == 2

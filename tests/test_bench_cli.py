@@ -130,3 +130,52 @@ class TestCampaign:
     def test_unknown_campaign_errors(self, capsys):
         assert main(["--campaign", "nope"]) == 2
         assert "unknown campaign" in capsys.readouterr().err
+
+
+class TestSubcommands:
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        captured = capsys.readouterr()
+        assert "experiments:" in captured.out
+        assert "remediate" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_run_subcommand(self, capsys):
+        assert main(["run", "fig9a", "--seed", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "fanout_bit" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_run_without_experiment_is_usage_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_campaign_subcommand_maps_flags(self, tmp_path, capsys):
+        out = tmp_path / "resilience-smoke.json"
+        assert main(["campaign", "smoke", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["campaign"] == "smoke"
+        assert data["summary"]["failed"] == 0
+
+    def test_control_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "resilience-control.json"
+        assert main(["control", "--scenario", "crash-wave", "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "crash-wave" in captured.out
+        assert "remediations=" in captured.out
+        data = json.loads(out.read_text())
+        assert data["outcomes"][0]["remediations"] >= 1
+
+    def test_control_unknown_scenario(self, capsys):
+        assert main(["control", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_legacy_flag_style_warns_on_stderr(self, capsys):
+        assert main(["fig9a"]) == 0
+        captured = capsys.readouterr()
+        assert "fanout_bit" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_legacy_list_flag_does_not_break(self, capsys):
+        assert main(["--list"]) == 0
+        assert "remediate" in capsys.readouterr().out

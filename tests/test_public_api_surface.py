@@ -35,6 +35,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.obs",
+    "repro.control",
 ]
 
 
