@@ -23,7 +23,9 @@ paper by Xu, Liu, Cruz-Diaz, Da Silva and Hu. The package contains:
 - ``repro.obs`` — deterministic span tracing and the metrics registry
   behind every layer above;
 - ``repro.control`` — the closed-loop auto-remediation control plane
-  (diagnose → plan → act → verify over a live deployment).
+  (diagnose → plan → act → verify over a live deployment);
+- ``repro.live`` — the live-traffic recovery harness: sustained ingest,
+  app-flow interference, and user-felt latency metrics around failures.
 
 Quick start: :class:`repro.SR3` (see ``examples/quickstart.py``).
 """
@@ -40,6 +42,7 @@ from repro.control import (
     default_policy,
 )
 from repro.errors import ReproError
+from repro.live import LiveCell, LiveReport, LoadDriver, build_live_cell
 
 __version__ = "1.0.0"
 
@@ -56,5 +59,9 @@ __all__ = [
     "PolicyTable",
     "RemediationRecord",
     "default_policy",
+    "LiveCell",
+    "LiveReport",
+    "LoadDriver",
+    "build_live_cell",
     "__version__",
 ]

@@ -49,6 +49,16 @@ def _scale(args) -> object:
     return exp.scale_overlay(node_counts=counts, seed=args.seed)
 
 
+def _live(args) -> object:
+    return exp.live_recovery(
+        seed=args.seed,
+        duration_s=args.live_duration,
+        base_rate=args.live_base_rate,
+        peak_rate=args.live_peak_rate,
+        bulk_state_mb=args.live_state_mb,
+    )
+
+
 EXPERIMENTS: Dict[str, Callable] = {
     "table1": lambda args: exp.table1_overview(),
     "fig8a": lambda args: exp.fig8a_recovery_no_constraint(seed=args.seed),
@@ -76,6 +86,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "remediate": lambda args: exp.remediate_controller(
         mechanism=args.mechanism, seed=args.seed
     ),
+    "live": _live,
 }
 
 #: First-token subcommands of the modern CLI; anything else falls back to
@@ -110,6 +121,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="overlay size(s) for the scale experiment (repeatable; "
         "default: 512 1024 2048 5000)",
+    )
+    parser.add_argument(
+        "--live-duration",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="live experiment: simulated run length (default: 30)",
+    )
+    parser.add_argument(
+        "--live-base-rate",
+        type=float,
+        default=300.0,
+        metavar="EV_PER_S",
+        help="live experiment: baseline ingest rate (default: 300)",
+    )
+    parser.add_argument(
+        "--live-peak-rate",
+        type=float,
+        default=1500.0,
+        metavar="EV_PER_S",
+        help="live experiment: flash-crowd plateau rate (default: 1500)",
+    )
+    parser.add_argument(
+        "--live-state-mb",
+        type=float,
+        default=32.0,
+        metavar="MB",
+        help="live experiment: co-located bulk state on the kill target "
+        "(default: 32)",
     )
     parser.add_argument(
         "--campaign",

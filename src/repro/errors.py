@@ -82,3 +82,7 @@ class WorkloadError(ReproError):
 
 class BenchmarkError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
+
+
+class LiveHarnessError(ReproError):
+    """The live-traffic driver was misconfigured or its run went wrong."""

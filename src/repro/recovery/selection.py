@@ -68,6 +68,12 @@ class SelectionInputs:
     # save, leaving every pre-chain prediction unchanged.
     chain_links: int = 1
     delta_bytes: float = 0.0
+    # Fraction of link bandwidth the live workload's ingest/shuffle traffic
+    # is consuming while the recovery runs, in [0, 1). The closed-form
+    # predictions discount their transfer bandwidth by it: recovery flows
+    # only get the fair share the application leaves behind. 0.0 (the
+    # default) is the quiescent network every pre-live prediction assumed.
+    background_load: float = 0.0
 
     def __post_init__(self) -> None:
         if self.state_bytes < 0:
@@ -79,6 +85,11 @@ class SelectionInputs:
         if not 0 <= self.delta_bytes <= max(self.state_bytes, 0):
             raise SelectionError(
                 "delta_bytes must lie between 0 and state_bytes"
+            )
+        if not 0.0 <= self.background_load < 1.0:
+            raise SelectionError(
+                "background_load must be a fraction in [0, 1); a fully "
+                "saturated link leaves no bandwidth to predict with"
             )
 
 
@@ -188,6 +199,10 @@ def predict_recovery_seconds(
     """
     cost = cost_model if cost_model is not None else CostModel()
     bw = bandwidth if bandwidth is not None else DEFAULT_PREDICTION_BANDWIDTH
+    if inputs.background_load > 0.0:
+        # Sustained ingest/shuffle traffic holds its share of every link;
+        # recovery transfers run on what the application leaves behind.
+        bw *= 1.0 - inputs.background_load
     mech = mechanism if isinstance(mechanism, Mechanism) else Mechanism(mechanism)
     size = inputs.state_bytes
     if mech is Mechanism.NONE or size <= 0:

@@ -28,6 +28,15 @@ Paper-scale fast paths (none may change a simulated result):
   admission sequence (insert by bisection, not re-sorted per event); all
   float accumulation walks it in that fixed order.
 
+Application traffic (the live-harness ingest/shuffle load) enters the same
+allocator as *app flows* — infinite-size, never-completing flows capped at
+a ``demand`` rate (:meth:`Network.open_app_flow`). Demand caps participate
+in the progressive filling: a flow whose offered load sits below the
+current fair share saturates at its demand and returns the remainder to
+the pool (standard bounded-demand max-min). When no app flow exists the
+demand branch never executes, so quiescent allocations remain
+byte-identical to the historical solver.
+
 Small control messages (DHT maintenance pings, routing messages) bypass the
 flow machinery through :meth:`Network.send_control`: they are charged to
 byte counters and delivered after one propagation latency, which is how the
@@ -117,6 +126,8 @@ class Flow:
         "size",
         "remaining",
         "rate",
+        "demand",
+        "app",
         "on_complete",
         "on_abort",
         "tag",
@@ -138,6 +149,8 @@ class Flow:
         tag: Optional[str],
         started_at: float,
         seq: int = 0,
+        demand: float = math.inf,
+        app: bool = False,
     ) -> None:
         # Admission order within the network. Flows live in identity-hashed
         # sets; every place where iteration order can leak into float
@@ -148,6 +161,14 @@ class Flow:
         self.size = size
         self.remaining = float(size)
         self.rate = 0.0
+        # Offered load ceiling: max-min never allocates more than this.
+        # Bulk transfers are elastic (demand = inf, the historical
+        # behaviour); application ingest/shuffle flows carry the workload's
+        # current event rate as a finite demand.
+        self.demand = demand
+        # Long-running application traffic: infinite size, never completes,
+        # exists to contend with recovery/save transfers for link shares.
+        self.app = app
         self.on_complete = on_complete
         self.on_abort = on_abort
         self.tag = tag
@@ -438,6 +459,104 @@ class Network:
             flow.on_abort(flow)
         self._request_recompute()
 
+    # -------------------------------------------------------------- app flows
+
+    def open_app_flow(
+        self,
+        src: Host,
+        dst: Host,
+        demand: float = math.inf,
+        on_abort: Optional[Callable[[Flow], None]] = None,
+        tag: Optional[str] = None,
+        parent_span=None,
+    ) -> Flow:
+        """Register long-running application traffic as a first-class flow.
+
+        The flow has infinite size — it never completes on its own — and
+        competes in the max-min allocation like any bulk transfer, capped
+        at ``demand`` bytes/second (the workload's current offered load).
+        Recovery and save transfers sharing a link with it get exactly the
+        fair share that remains, which is how sustained ingest makes
+        recovery measurably slower than the quiescent benchmarks.
+
+        Close it with :meth:`close_app_flow`; adjust the offered load with
+        :meth:`set_flow_demand`. A host failure or partition aborts it like
+        any other flow (``on_abort`` fires so the workload can re-route).
+        """
+        if not src.alive or not dst.alive:
+            raise NetworkError(
+                f"app flow between dead hosts: {src.name}->{dst.name}"
+            )
+        if not demand > 0:
+            raise NetworkError("app flow demand must be positive")
+        if math.isinf(demand) and (math.isinf(src.up_bw) or math.isinf(dst.down_bw)):
+            raise NetworkError(
+                f"app flow {src.name}->{dst.name}: an unbounded demand on an "
+                f"unconstrained link would absorb infinite bandwidth; give "
+                f"the flow a finite demand or the hosts finite capacity"
+            )
+        flow = Flow(
+            src, dst, math.inf, None, on_abort, tag, self.sim.now,
+            seq=self.started_flows, demand=demand, app=True,
+        )
+        self.started_flows += 1
+        self._flows_started_counter.add(1)
+        self.sim.metrics.counter("net.app_flows_opened").add(1)
+        flow.span = self.sim.tracer.start(
+            f"app flow {src.name}->{dst.name}",
+            category="net.app_flow",
+            parent=parent_span,
+            src=src.name,
+            dst=dst.name,
+            **({"tag": tag} if tag else {}),
+        )
+        propagation = src.latency + dst.latency
+        self.sim.schedule(propagation, self._admit, flow)
+        return flow
+
+    def set_flow_demand(self, flow: Flow, demand: float) -> None:
+        """Change an app flow's offered load (rate-curve tracking)."""
+        if not flow.app:
+            raise NetworkError("demand is only adjustable on app flows")
+        if not demand > 0:
+            raise NetworkError("app flow demand must be positive")
+        if math.isinf(demand) and (
+            math.isinf(flow.src.up_bw) or math.isinf(flow.dst.down_bw)
+        ):
+            raise NetworkError(
+                "an unbounded app-flow demand needs finite link capacity"
+            )
+        if demand == flow.demand:
+            return
+        self._settle_progress()
+        flow.demand = demand
+        if flow in self._flows:
+            self._dirty_keys.add(("up", flow.src.name))
+            self._dirty_keys.add(("down", flow.dst.name))
+            self._request_recompute()
+
+    def close_app_flow(self, flow: Flow) -> None:
+        """Retire an app flow (workload drained or re-routed).
+
+        A deliberate close — unlike an abort, ``on_abort`` does not fire.
+        Closing an already closed/aborted flow is harmless.
+        """
+        if not flow.app:
+            raise NetworkError("close_app_flow only applies to app flows")
+        if flow.done or flow.aborted:
+            return
+        self._settle_progress()
+        if flow in self._flows:
+            self._remove_flow(flow)
+        flow.aborted = True
+        self.sim.metrics.counter("net.app_flows_closed").add(1)
+        flow.span.finish(closed=True)
+        self._request_recompute()
+
+    def app_flows(self) -> List[Flow]:
+        """Live app flows in admission order (telemetry/audit hook)."""
+        return [f for f in self._order_cache if f.app]
+
     # ------------------------------------------------------------ control msgs
 
     def send_control(
@@ -501,8 +620,14 @@ class Network:
         for flow in self._order_cache:
             elapsed = now - flow._last_update
             if math.isinf(flow.rate):
-                # Unconstrained path: the transfer completes instantly.
-                moved = flow.remaining
+                if math.isinf(flow.remaining):
+                    # An app flow on an unconstrained path: bytes moved are
+                    # unbounded and meaningless — charge nothing rather
+                    # than poison the byte counters with inf.
+                    moved = 0.0
+                else:
+                    # Unconstrained path: the transfer completes instantly.
+                    moved = flow.remaining
             elif elapsed > 0 and flow.rate > 0:
                 moved = min(flow.remaining, flow.rate * elapsed)
             else:
@@ -618,6 +743,11 @@ class Network:
         for flow in self._order_cache:
             rate = flow.rate
             if rate > 0:
+                if math.isinf(flow.remaining):
+                    # Long-running app traffic never completes; an infinite
+                    # rate on it moves no bytes either, so it must not keep
+                    # scheduling zero-delay completion ticks.
+                    continue
                 if math.isinf(rate):
                     finish = now
                     inf_rates = True
@@ -670,6 +800,10 @@ class Network:
                 members[down_key] = []
             members[down_key].append(flow)
         unfixed_count = {key: len(flows) for key, flows in members.items()}
+        # Demand caps only enter the solve when some member actually has
+        # one — the historical all-elastic case must run the exact same
+        # float-op sequence (byte-identical quiescent allocations).
+        demand_capped = any(not math.isinf(f.demand) for f in flows)
 
         unfixed = set(flows)
         rates: Dict[Flow, float] = {}
@@ -683,9 +817,36 @@ class Network:
                 if share < bottleneck_share:
                     bottleneck_share = share
             if math.isinf(bottleneck_share):
+                # No remaining link constraint: elastic flows take inf,
+                # demand-capped app flows saturate at their offered load.
                 for flow in unfixed:
-                    rates[flow] = math.inf
+                    rates[flow] = flow.demand
                 break
+            if demand_capped:
+                # Flows whose offered load sits at or below the current
+                # fair share saturate first: they take exactly their
+                # demand and release the rest of the share back into the
+                # pool before any link fills up.
+                saturated = [
+                    f for f in self._ordered(unfixed)
+                    if f.demand <= bottleneck_share
+                ]
+                if saturated:
+                    touched = []
+                    for flow in saturated:
+                        rates[flow] = flow.demand
+                        unfixed.discard(flow)
+                        up_key = ("up", flow.src.name)
+                        down_key = ("down", flow.dst.name)
+                        residual[up_key] -= flow.demand
+                        unfixed_count[up_key] -= 1
+                        residual[down_key] -= flow.demand
+                        unfixed_count[down_key] -= 1
+                        touched.append(up_key)
+                        touched.append(down_key)
+                    for key in touched:
+                        residual[key] = max(0.0, residual[key])
+                    continue
             newly_fixed = set()
             for key, cap in residual.items():
                 count = unfixed_count[key]

@@ -168,6 +168,33 @@ class SR3StateBackend:
         store = self._rebuild_store(task)
         return store, result
 
+    def rebuild_store(self, task_id: str) -> StateStore:
+        """Materialize a protected task's store from the recovered image.
+
+        For callers that drive the recovery themselves (the live-traffic
+        driver starts it through the manager and keeps the simulation
+        running): once the recovery handle resolves, this rebuilds the
+        store from the surviving replicas and rebinds it to the task.
+        """
+        return self._rebuild_store(self._get(task_id))
+
+    def rollback_task(self, task_id: str, snapshot: StateSnapshot) -> StateStore:
+        """Reset a *live* task's store to a checkpoint image.
+
+        Global-rollback recovery: when one task of an operator dies, the
+        surviving tasks rewind to the same consistent checkpoint barrier
+        before the source replays — otherwise the replay double-counts
+        on the survivors. Purely local (no network traffic): the snapshot
+        is already in the worker's memory. The rolled-back image becomes
+        the parent of the next incremental save round.
+        """
+        task = self._get(task_id)
+        store = StateStore(task.store.name)
+        store.restore(snapshot)
+        task.store = store
+        task.last_snapshot = snapshot
+        return store
+
     def _rebuild_store(self, task: ProtectedTask) -> StateStore:
         snapshot = self.manager.recovered_snapshot(task.store.name)
         store = StateStore(task.store.name)

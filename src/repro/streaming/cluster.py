@@ -168,6 +168,28 @@ class LocalCluster:
             self._route(component_id, tuple_)
         return bool(produced)
 
+    def inject(
+        self,
+        source_id: str,
+        values,
+        timestamp: Optional[float] = None,
+    ) -> None:
+        """Push one synthetic emission from ``source_id`` through the DAG.
+
+        The live-traffic driver's entry point: it owns the event stream
+        (arrival times, replay position) and feeds records one at a time
+        instead of letting the spout pull them, so a post-failure source
+        rewind is just re-injecting the same records. ``values`` must
+        match the component's declared output fields.
+        """
+        spec = self.topology.spec(source_id)
+        fields = tuple(spec.component.declare_output_fields())
+        tuple_ = StreamTuple(
+            tuple(values), fields, source=source_id, timestamp=timestamp
+        )
+        self.executed_counts[source_id] += 1
+        self._route(source_id, tuple_)
+
     def _route(self, source_id: str, root_tuple: StreamTuple) -> None:
         """Push one emission through the DAG breadth-first."""
         queue: deque = deque([(source_id, root_tuple)])
@@ -226,16 +248,14 @@ class LocalCluster:
         if self.backend is not None:
             self.backend.sim.metrics.counter("streaming.tasks_killed").add(1)
 
-    def recover_task(
-        self, component_id: str, index: int = 0, mechanism=None
-    ) -> None:
-        """Re-create a killed task, restoring state through SR3 if protected.
+    def revive_task(self, component_id: str, index: int = 0, store=None):
+        """Re-instantiate a killed task without driving a recovery.
 
-        ``mechanism`` optionally overrides the selection heuristic (e.g. a
-        :class:`~repro.recovery.speculation.SpeculativeStarRecovery`).
-        Without a backend (or for stateless bolts) the task restarts
-        empty — exactly the "simply start a new operator instance"
-        behaviour of stateless recovery (Sec. 3.1).
+        The replacement instance restarts from an empty state store — or
+        from ``store`` when the caller already rebuilt one (the live
+        driver recovers asynchronously through the manager, rebuilds the
+        store from the landed snapshot, and only then revives). Returns
+        the new instance.
         """
         key = (component_id, index)
         if key not in self._tasks:
@@ -250,12 +270,33 @@ class LocalCluster:
         context = TaskContext(component_id, index, spec.parallelism)
         if isinstance(instance, StatefulBolt):
             # The crash lost the in-memory hashtable: restart from an empty
-            # store, then overwrite it with the SR3-recovered image when
-            # the task was protected.
+            # store, then overwrite it with the restored image if any.
             from repro.state.store import StateStore
 
             instance.attach_state(StateStore(f"{component_id}[{index}]/state"))
         instance.prepare(context)
+        if store is not None:
+            if not isinstance(instance, StatefulBolt):
+                raise StreamRuntimeError(
+                    f"task {component_id}[{index}] is stateless; "
+                    f"it has no store to attach"
+                )
+            instance.attach_state(store)
+        self._tasks[key] = instance
+        return instance
+
+    def recover_task(
+        self, component_id: str, index: int = 0, mechanism=None
+    ) -> None:
+        """Re-create a killed task, restoring state through SR3 if protected.
+
+        ``mechanism`` optionally overrides the selection heuristic (e.g. a
+        :class:`~repro.recovery.speculation.SpeculativeStarRecovery`).
+        Without a backend (or for stateless bolts) the task restarts
+        empty — exactly the "simply start a new operator instance"
+        behaviour of stateless recovery (Sec. 3.1).
+        """
+        instance = self.revive_task(component_id, index)
         if isinstance(instance, StatefulBolt) and self.backend is not None:
             task_id = f"{component_id}[{index}]"
             if task_id in self.backend.protected_tasks():
@@ -270,7 +311,6 @@ class LocalCluster:
                 span.finish()
                 self.backend.sim.metrics.counter("streaming.tasks_recovered").add(1)
                 instance.attach_state(store)
-        self._tasks[key] = instance
 
     # ---------------------------------------------------------- SR3 plumbing
 

@@ -1,0 +1,80 @@
+"""The ``bench live`` experiment: rows, gated keys, interference invariant."""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+GATED_SUFFIXES = (
+    "p99_before_s",
+    "p99_during_s",
+    "p99_after_s",
+    "replay_lag_peak",
+    "recovery_s",
+    "drain_s",
+    "interference_ratio",
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return exp.live_recovery(
+        seed=0,
+        duration_s=20.0,
+        base_rate=250.0,
+        peak_rate=1_500.0,
+        bulk_state_mb=32.0,
+        service_rate=2_500.0,
+        num_nodes=16,
+    )
+
+
+def test_rows_cover_every_mechanism_and_load(result):
+    pairs = {(row["mechanism"], row["load"]) for row in result.rows}
+    assert pairs == {
+        (mech, load)
+        for mech in ("star", "line", "tree")
+        for load in ("loaded", "quiet")
+    }
+
+
+def test_baseline_keys_present(result):
+    metrics = result.extra["baseline_metrics"]
+    for mech in ("star", "line", "tree"):
+        for suffix in GATED_SUFFIXES:
+            assert f"live/{mech}/{suffix}" in metrics
+        assert f"live/{mech}/wall_s" in metrics
+        assert f"live/{mech}/predict_error" in metrics
+
+
+def test_interference_slows_every_mechanism(result):
+    metrics = result.extra["baseline_metrics"]
+    for mech in ("star", "line", "tree"):
+        assert metrics[f"live/{mech}/interference_ratio"] > 1.0
+
+
+def test_deterministic_given_seed(result):
+    again = exp.live_recovery(
+        seed=0,
+        duration_s=20.0,
+        base_rate=250.0,
+        peak_rate=1_500.0,
+        bulk_state_mb=32.0,
+        service_rate=2_500.0,
+        num_nodes=16,
+    )
+    a = dict(result.extra["baseline_metrics"])
+    b = dict(again.extra["baseline_metrics"])
+    for metrics in (a, b):
+        for key in list(metrics):
+            if key.endswith("/wall_s"):
+                del metrics[key]
+    assert a == b
+
+
+def test_outage_phase_dominates_latency(result):
+    metrics = result.extra["baseline_metrics"]
+    for mech in ("star", "line", "tree"):
+        assert (
+            metrics[f"live/{mech}/p99_during_s"]
+            > 10 * metrics[f"live/{mech}/p99_before_s"]
+        )

@@ -36,6 +36,7 @@ PACKAGES = [
     "repro.bench",
     "repro.obs",
     "repro.control",
+    "repro.live",
 ]
 
 

@@ -163,3 +163,40 @@ class TestChainAwarePrediction:
         ]
         assert predictions == sorted(predictions)
         assert predictions[0] < predictions[2]
+
+
+class TestBackgroundLoad:
+    def test_default_is_quiescent(self):
+        inputs = SelectionInputs(state_bytes=64 * MB)
+        assert inputs.background_load == 0.0
+
+    def test_fraction_validated(self):
+        with pytest.raises(SelectionError):
+            SelectionInputs(state_bytes=MB, background_load=1.0)
+        with pytest.raises(SelectionError):
+            SelectionInputs(state_bytes=MB, background_load=-0.1)
+
+    def test_load_discounts_bandwidth(self):
+        from repro.recovery.selection import predict_recovery_seconds
+
+        quiet = SelectionInputs(state_bytes=64 * MB)
+        busy = SelectionInputs(state_bytes=64 * MB, background_load=0.5)
+        for mechanism in ("star", "line", "tree"):
+            assert predict_recovery_seconds(
+                mechanism, busy
+            ) >= predict_recovery_seconds(mechanism, quiet)
+        # Star is transfer-dominated at 64 MB: halving the bandwidth must
+        # strictly slow the prediction.
+        assert predict_recovery_seconds("star", busy) > predict_recovery_seconds(
+            "star", quiet
+        )
+
+    def test_zero_load_prediction_unchanged(self):
+        from repro.recovery.selection import predict_recovery_seconds
+
+        a = SelectionInputs(state_bytes=32 * MB)
+        b = SelectionInputs(state_bytes=32 * MB, background_load=0.0)
+        for mechanism in ("star", "line", "tree"):
+            assert predict_recovery_seconds(mechanism, a) == predict_recovery_seconds(
+                mechanism, b
+            )

@@ -112,3 +112,48 @@ class TestCoV:
 
     def test_known_value(self):
         assert coefficient_of_variation([2, 4]) == pytest.approx(1 / 3)
+
+
+class TestPercentileEdgeCases:
+    def test_nan_pct_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2, 3], float("nan"))
+
+    def test_exact_endpoints_no_interpolation(self):
+        data = [3.0, 1.0, 2.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 100.0) == 3.0
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+
+class TestPercentiles:
+    def test_matches_percentile_pointwise(self):
+        from repro.util.stats import percentiles
+
+        data = [5.0, 1.0, 9.0, 3.0, 7.0]
+        points = percentiles(data, (0.0, 25.0, 50.0, 99.0, 100.0))
+        for pct, value in points.items():
+            assert value == percentile(data, pct)
+
+    def test_empty_values_rejected(self):
+        from repro.util.stats import percentiles
+
+        with pytest.raises(ValueError):
+            percentiles([], (50.0,))
+
+    def test_out_of_range_pct_rejected(self):
+        from repro.util.stats import percentiles
+
+        with pytest.raises(ValueError):
+            percentiles([1.0], (50.0, 101.0))
+
+    def test_single_element(self):
+        from repro.util.stats import percentiles
+
+        assert percentiles([4.0], (0.0, 50.0, 100.0)) == {
+            0.0: 4.0,
+            50.0: 4.0,
+            100.0: 4.0,
+        }
