@@ -8,12 +8,19 @@ Usage::
     python -m repro.bench run all
     python -m repro.bench campaign smoke [--controller]
     python -m repro.bench control --scenario crash-wave --scenario stragglers
+    python -m repro.bench dashboard --out dashboard.html
 
 ``run`` prints the regenerated series as a text table (the same rows
 recorded in EXPERIMENTS.md); ``campaign`` runs a chaos resilience campaign
 (see :mod:`repro.chaos`) and writes the deterministic resilience report
 JSON; ``control`` runs catalog scenarios with the auto-remediation
-controller in charge and reports remediation counts and MTTR per cell.
+controller in charge and reports remediation counts and MTTR per cell;
+``dashboard`` runs one telemetry-sensed live cell and writes a
+self-contained HTML dashboard (sparklines, SLO status, alert timeline).
+
+The observability flags (``--trace``, ``--metrics-out``, ``--profile``,
+``--flamegraph``, ``--speedscope``) work uniformly across ``run``,
+``campaign``, and ``control``.
 
 The pre-subcommand flag style (``python -m repro.bench fig8a``,
 ``--campaign smoke``, ``--list``) still works but is deprecated; a note on
@@ -87,11 +94,12 @@ EXPERIMENTS: Dict[str, Callable] = {
         mechanism=args.mechanism, seed=args.seed
     ),
     "live": _live,
+    "slo": lambda args: exp.slo_observability(seed=args.seed),
 }
 
 #: First-token subcommands of the modern CLI; anything else falls back to
 #: the deprecated flag-style parser.
-SUBCOMMANDS = ("run", "campaign", "control", "list")
+SUBCOMMANDS = ("run", "campaign", "control", "dashboard", "list")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -326,6 +334,137 @@ def run_control_cli(
     return 0
 
 
+def _add_observability_flags(parser) -> None:
+    """The telemetry flags shared by every subcommand (satellite of the
+    continuous-telemetry work: one observability surface, not per-command
+    snowflakes)."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="capture span traces of every simulation and write them to "
+        "PATH as Chrome trace_event JSON",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("chrome", "plain"),
+        default="chrome",
+        help="artifact format for --trace (default: chrome)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="profile every recovery and write the report JSON to PATH; "
+        "implies tracing",
+    )
+    parser.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        help="write collapsed-stack flamegraph lines to PATH; implies tracing",
+    )
+    parser.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        help="write a speedscope JSON document to PATH; implies tracing",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="dump every simulation's metrics registry to PATH as "
+        "deterministic JSON",
+    )
+
+
+def _with_observability(args, runner) -> int:
+    """Run ``runner`` with the shared observability flags honoured.
+
+    Mirrors what ``run`` does in :func:`_run_legacy`: enable collection
+    up front, write trace/profile/metrics artifacts after — so
+    ``campaign`` and ``control`` produce the same artifacts from the same
+    flags.
+    """
+    tracing = bool(
+        args.trace or args.profile or args.flamegraph or args.speedscope
+    )
+    if tracing:
+        clear_collected()
+        enable_tracing(True)
+    if args.metrics_out:
+        clear_collected_registries()
+        enable_metrics_collection(True)
+    exit_code = 0
+    try:
+        exit_code = runner()
+    finally:
+        if args.trace:
+            path = write_trace_artifact(
+                args.trace, chrome=args.trace_format == "chrome"
+            )
+            print(f"trace written to {path}", file=sys.stderr)
+        if tracing or args.metrics_out:
+            artifacts = argparse.Namespace(
+                profile=args.profile,
+                flamegraph=args.flamegraph,
+                speedscope=args.speedscope,
+                metrics_out=args.metrics_out,
+                baseline=None,
+                update_baseline=False,
+                baseline_tolerance=None,
+            )
+            artifact_code = write_profile_artifacts(artifacts)
+            enable_tracing(False)
+            enable_metrics_collection(False)
+            exit_code = exit_code or artifact_code
+    return exit_code
+
+
+def run_dashboard_cli(args) -> int:
+    """Run one telemetry-sensed live cell and write the HTML dashboard."""
+    from repro.bench.experiments import run_slo_cell
+    from repro.errors import ReproError
+    from repro.obs.dashboard import write_dashboard
+
+    try:
+        outcome = run_slo_cell(args.mode, seed=args.seed, duration_s=args.duration)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    engine = outcome["engine"]
+    anomalies = outcome["anomalies"]
+    write_dashboard(
+        args.out,
+        outcome["pipeline"],
+        slo_engine=engine,
+        anomalies=anomalies,
+        controller=outcome["controller"],
+        title=f"SR3 telemetry — {args.mode} cell (seed {args.seed})",
+    )
+    timeline = []
+    if engine is not None:
+        timeline += [
+            (a.at, f"slo-burning {a.slo} ({a.severity}, burn {a.burn_long:.2f})")
+            for a in engine.alerts
+        ]
+    if anomalies is not None:
+        timeline += [
+            (a.at, f"metric-anomaly {a.kind} on {a.series} (score {a.score:.1f})")
+            for a in anomalies.anomalies
+        ]
+    detector = outcome["detector"]
+    if detector is not None and detector.detections:
+        declared = min(t for _, _, t in detector.detections)
+        timeline.append((declared, "node-failed declared by heartbeat detector"))
+    for at, line in sorted(timeline):
+        print(f"  t={at:7.2f}s  {line}")
+    report = outcome["report"]
+    if report.recovered_at is not None and report.killed_at is not None:
+        print(
+            f"  recovered {report.recovered_at - report.killed_at:.2f}s "
+            f"after the kill"
+        )
+    print(f"dashboard written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def write_profile_artifacts(args, extra_metrics=None) -> int:
     """Write profile/flamegraph/baseline artifacts after a traced run.
 
@@ -430,13 +569,40 @@ def _dispatch_subcommand(argv) -> int:
             metavar="PATH",
             help="resilience report path (default: resilience-<NAME>.json)",
         )
+        _add_observability_flags(parser)
         args = parser.parse_args(rest)
-        legacy = ["--campaign", args.name]
-        if args.out:
-            legacy += ["--campaign-out", args.out]
-        if args.controller:
-            legacy += ["--controller"]
-        return _run_legacy(legacy)
+        campaign_args = _argparse.Namespace(
+            campaign=args.name,
+            campaign_out=args.out,
+            controller=args.controller,
+        )
+        return _with_observability(args, lambda: run_campaign_cli(campaign_args))
+    if command == "dashboard":
+        parser = _argparse.ArgumentParser(prog="python -m repro.bench dashboard")
+        parser.add_argument(
+            "--out",
+            metavar="PATH",
+            default="dashboard.html",
+            help="where to write the self-contained HTML (default: "
+            "dashboard.html)",
+        )
+        parser.add_argument(
+            "--mode",
+            choices=("burn", "detector"),
+            default="burn",
+            help="sensing path for the cell: SLO burn-rate alerting or the "
+            "heartbeat failure detector (default: burn)",
+        )
+        parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+        parser.add_argument(
+            "--duration",
+            type=float,
+            default=30.0,
+            metavar="SECONDS",
+            help="simulated run length (default: 30)",
+        )
+        args = parser.parse_args(rest)
+        return run_dashboard_cli(args)
     # command == "control"
     parser = _argparse.ArgumentParser(prog="python -m repro.bench control")
     parser.add_argument(
@@ -456,8 +622,11 @@ def _dispatch_subcommand(argv) -> int:
         metavar="PATH",
         help="resilience report path (default: resilience-control.json)",
     )
+    _add_observability_flags(parser)
     args = parser.parse_args(rest)
-    return run_control_cli(args.scenario, args.mechanism, args.out)
+    return _with_observability(
+        args, lambda: run_control_cli(args.scenario, args.mechanism, args.out)
+    )
 
 
 def main(argv=None) -> int:

@@ -36,7 +36,7 @@ from repro.chaos.scenario import (
 )
 from repro.dht.node import DhtNode
 from repro.errors import OverlayError, RecoveryError, ReproError, SimulationError
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import Tracer, tracing_enabled
 from repro.recovery.line import LineRecovery
 from repro.recovery.model import RecoveryHandle, RecoveryResult
 from repro.recovery.speculation import SpeculativeStarRecovery
@@ -527,7 +527,11 @@ def run_scenario(
     """
     # Chaos runs always trace: the blame breakdown of each cell needs the
     # span forest. Without an explicit trace_name the tracer stays local to
-    # this run (nothing lands in the process-wide collector).
+    # this run — unless process-wide collection is on (the CLI's --trace
+    # flag), in which case the cell joins the collector so campaign and
+    # control runs produce the same trace artifacts experiments do.
+    if trace_name is None and tracing_enabled():
+        trace_name = f"{scenario.name}/{mechanism}"
     tracer = Tracer(f"{scenario.name}/{mechanism}") if trace_name is None else None
     deployment = build_scenario(
         num_nodes=scenario.num_nodes,

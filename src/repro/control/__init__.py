@@ -34,7 +34,7 @@ from repro.control.controller import (
     ControlPlane,
     RemediationRecord,
 )
-from repro.control.diagnose import CONDITIONS, Diagnosis, diagnose
+from repro.control.diagnose import CONDITIONS, TELEMETRY_KINDS, Diagnosis, diagnose
 from repro.control.events import EVENT_KINDS, ControlEvent, EventLog, watch_detector
 from repro.control.policy import PolicyRule, PolicyTable, default_policy
 
@@ -49,6 +49,7 @@ __all__ = [
     "Controller",
     "RemediationRecord",
     "CONDITIONS",
+    "TELEMETRY_KINDS",
     "Diagnosis",
     "diagnose",
     "EVENT_KINDS",

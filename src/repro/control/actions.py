@@ -11,6 +11,10 @@ The catalog:
 - :class:`RecoverState` (``recover``) — proactive recovery of a state
   whose owner died, through :meth:`RecoveryManager.recover`, using the
   Fig. 7 selection-recommended mechanism unless the policy pins one.
+- :class:`RecoverDegraded` (``recover-degraded``) — the telemetry-alert
+  form of recovery: scan the registry for states stranded on dead owners
+  (all of them, or the one the alert binds) and recover each. Exposes a
+  non-blocking ``begin_all`` for embeddings that own the event loop.
 - :class:`ReReplicate` (``re-replicate``) — copy thin chain segments from
   a surviving provider onto fresh nodes until every segment is back at
   the configured replication factor. Copies preserve shard checksums and
@@ -237,6 +241,78 @@ class RecoverState(Action):
             mechanism=result.mechanism,
             replacement=result.replacement,
             duration_s=round(result.duration, 6),
+        )
+
+
+@register_action
+class RecoverDegraded(Action):
+    """Recover every dead-owner state a telemetry alert implicates.
+
+    An SLO alert names a *symptom* (p99 burning, replay lag climbing),
+    not a corpse; this action turns the symptom into recoveries by
+    scanning the registry for states whose owner is dead — all of them
+    when the alert carries no subject binding, just the bound state when
+    it does. Parameters (``mechanism``) forward to :class:`RecoverState`.
+    :meth:`begin_all` is the non-blocking form for embeddings that own
+    the event loop (the live driver via :meth:`Controller.poll`);
+    :meth:`execute` drives the simulator to quiescence like every other
+    synchronous action.
+    """
+
+    name = "recover-degraded"
+
+    def begin_all(self, world, diagnosis: Diagnosis, replacement=None, parent_span=None):
+        """Start one recovery per implicated dead-owner state; no blocking.
+
+        Returns ``[(state_name, handle), ...]`` — empty when the alert
+        implicates nothing currently recoverable (the owner lives, or
+        nothing was ever saved).
+        """
+        recover = RecoverState(**self.params)
+        names = (
+            [diagnosis.state]
+            if diagnosis.state is not None
+            else sorted(world.manager.states)
+        )
+        begun = []
+        for state_name in names:
+            registered = world.manager.states.get(state_name)
+            if registered is None or registered.plan is None:
+                continue
+            if registered.owner.alive:
+                continue
+            sub = Diagnosis(
+                condition="owner-lost",
+                severity="critical",
+                detected_at=diagnosis.detected_at,
+                state=state_name,
+                evidence=(
+                    ("owner", registered.owner.name),
+                    ("trigger", diagnosis.condition),
+                ),
+            )
+            begun.append(
+                (
+                    state_name,
+                    recover.begin(
+                        world, sub, replacement=replacement, parent_span=parent_span
+                    ),
+                )
+            )
+        return begun
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        try:
+            begun = self.begin_all(world, diagnosis, parent_span=parent_span)
+        except (ReproError, OverlayError) as exc:
+            return self._fail(str(exc))
+        if not begun:
+            return self._ok(changed=False)
+        world.sim.run_until_idle()
+        return self._ok(
+            changed=True,
+            recovered=len(begun),
+            states=",".join(name for name, _ in begun),
         )
 
 
@@ -517,6 +593,7 @@ __all__ = [
     "EvictNode",
     "ReReplicate",
     "RebalanceNode",
+    "RecoverDegraded",
     "RecoverState",
     "RewriteState",
     "build_action",

@@ -28,7 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.control.actions import ActionOutcome, RecoverState, build_action
+from repro.control.actions import (
+    ActionOutcome,
+    RecoverDegraded,
+    RecoverState,
+    build_action,
+)
 from repro.control.diagnose import Diagnosis, _detection_time, diagnose
 from repro.control.events import ControlEvent, EventLog, watch_detector
 from repro.control.policy import PolicyRule, PolicyTable, default_policy
@@ -98,6 +103,10 @@ class RemediationRecord:
     escalated: bool = False
     verified: bool = False
     resolved_at: Optional[float] = None
+    #: When a non-blocking remediation's last recovery handle landed (set
+    #: by :meth:`Controller.poll`); resolution then dates MTTR at landing,
+    #: not at the post-run sweep that verifies it.
+    landed_at: Optional[float] = None
     outcomes: List[ActionOutcome] = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
 
@@ -133,15 +142,29 @@ class Controller:
         policy: Optional[PolicyTable] = None,
         config: Optional[ControlConfig] = None,
         checkers=None,
+        slo_engine=None,
+        anomalies=None,
     ) -> None:
         self.world = world
         self.policy = policy if policy is not None else default_policy()
         self.config = config or ControlConfig()
         self._checkers = checkers
+        #: Telemetry attachments: an :class:`~repro.obs.slo.SLOEngine` and
+        #: an :class:`~repro.obs.anomaly.AnomalyDetector` pumped by
+        #: :meth:`observe` — their alerts enter the loop as events.
+        self.slo_engine = slo_engine
+        self.anomalies = anomalies
+        #: Embedding hook: called ``(state_name, handle)`` for every
+        #: recovery :meth:`poll` begins, so a live harness can chain its
+        #: own completion logic (revive, rollback, rewind).
+        self.on_recovery_begun: Optional[Callable[[str, object], None]] = None
         self.log = EventLog()
         self.records: List[RemediationRecord] = []
         #: In-flight owner-loss remediations started via :meth:`begin_owner_loss`.
         self._open: Dict[str, Tuple[RemediationRecord, PolicyRule]] = {}
+        #: Blocking remediations :meth:`poll` could not run mid-stream,
+        #: executed by :meth:`sweep` once the embedding reaches quiescence.
+        self._deferred: List[Tuple[RemediationRecord, PolicyRule, object]] = []
         self._parked: Set[Tuple[str, str, str]] = set()
         self._degraded_seen: Set[str] = set()
         # Verification context beyond the live world: recovery results and
@@ -210,9 +233,15 @@ class Controller:
     # ------------------------------------------------------------- the loop
 
     def observe(self) -> List[ControlEvent]:
-        """Drain fresh events and scan for newly degraded hosts."""
+        """Drain fresh events, pump telemetry, scan for degraded hosts."""
         events = self.log.drain()
         now = self.world.sim.now
+        if self.slo_engine is not None:
+            for alert in self.slo_engine.evaluate(now):
+                self.log.emit(alert.to_event())
+        if self.anomalies is not None:
+            for anomaly in self.anomalies.scan(now):
+                self.log.emit(anomaly.to_event())
         degraded = getattr(self.world.network, "degraded_hosts", None)
         if degraded is not None:
             current = {host.name: frac for host, frac in degraded(self.config.flaky_bw_fraction)}
@@ -229,7 +258,7 @@ class Controller:
                         attrs=(("bw_fraction", round(current[name], 6)),),
                     )
                 )
-            events.extend(self.log.drain())
+        events.extend(self.log.drain())
         self._count("events", len(events))
         return events
 
@@ -347,7 +376,9 @@ class Controller:
 
     def _resolve(self, record: RemediationRecord) -> None:
         record.verified = True
-        record.resolved_at = self.world.sim.now
+        record.resolved_at = (
+            record.landed_at if record.landed_at is not None else self.world.sim.now
+        )
         self._count("verified")
         mttr = record.mttr_s
         if mttr is not None:
@@ -409,11 +440,84 @@ class Controller:
         self._count("actions")
         return handle
 
+    def poll(self) -> List[RemediationRecord]:
+        """One non-blocking pass for loop-owning embeddings (live mode).
+
+        A :class:`~repro.live.driver.LoadDriver` tick loop cannot tolerate
+        an action calling ``run_until_idle`` mid-stream, so this pass only
+        *starts* recoveries: a matched recovery rule begins its transfers
+        and returns immediately (handles complete as the embedding drives
+        the simulator; :attr:`on_recovery_begun` lets it chain revival
+        logic), while any other matched rule is deferred for
+        :meth:`sweep` to execute after quiescence. MTTR for polled
+        recoveries is dated at the moment the last handle lands.
+        """
+        events = self.observe()
+        open_keys = {
+            self._key(record.diagnosis) for record, _rule in self._open.values()
+        }
+        fresh = [
+            d
+            for d in self.diagnose(events)
+            if self._key(d) not in self._parked
+            and self._key(d) not in open_keys
+            and d.state not in self._open
+        ]
+        self._count("diagnoses", len(fresh))
+        begun: List[RemediationRecord] = []
+        for diagnosis in fresh:
+            rule = self.policy.lookup(diagnosis)
+            if rule is None:
+                self._count("unmatched")
+                self._parked.add(self._key(diagnosis))
+                continue
+            record = RemediationRecord(diagnosis=diagnosis, action=rule.action)
+            self.records.append(record)
+            action = build_action(rule.action, **{k: v for k, v in rule.params})
+            if isinstance(action, RecoverDegraded):
+                started = action.begin_all(self.world, diagnosis)
+            elif isinstance(action, RecoverState) and diagnosis.state is not None:
+                started = [
+                    (diagnosis.state, action.begin(self.world, diagnosis))
+                ]
+            else:
+                self._deferred.append((record, rule, action))
+                continue
+            record.attempts += 1
+            self._count("actions")
+            # Even an empty begin (nothing left to recover) stays open so
+            # sweep() still verifies the condition actually cleared.
+            self._open["poll/" + "/".join(self._key(diagnosis))] = (record, rule)
+            begun.append(record)
+            if started:
+                outstanding = {"left": len(started)}
+                for state_name, handle in started:
+                    handle.on_done(self._poll_landed(record, outstanding))
+                    if self.on_recovery_begun is not None:
+                        self.on_recovery_begun(state_name, handle)
+        return begun
+
+    def _poll_landed(self, record: RemediationRecord, outstanding: Dict[str, int]):
+        def landed(result) -> None:
+            outstanding["left"] -= 1
+            if outstanding["left"] == 0:
+                record.landed_at = self.world.sim.now
+        return landed
+
     def sweep(self, max_rounds: Optional[int] = None) -> List[RemediationRecord]:
         """Post-quiescence pass: settle in-flight remediations, then loop."""
         for state_name in sorted(self._open):
             record, rule = self._open.pop(state_name)
             if self._verify(record, record.diagnosis):
+                self._resolve(record)
+            else:
+                self._parked.add(self._key(record.diagnosis))
+                self._count("unresolved")
+        deferred, self._deferred = self._deferred, []
+        for record, rule, action in deferred:
+            if self._execute(record, action, record.diagnosis) and self._verify(
+                record, record.diagnosis
+            ):
                 self._resolve(record)
             else:
                 self._parked.add(self._key(record.diagnosis))

@@ -32,14 +32,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.control.events import ControlEvent
 
-#: Every condition the diagnosis scan can produce.
+#: Every condition the diagnosis scan can produce. The first five come
+#: from the world scan; the last two are telemetry-driven (the ordering is
+#: load-bearing: it is the controller's work order within a severity).
 CONDITIONS = (
     "owner-lost",
     "replica-thin",
     "chain-too-long",
     "flaky-node",
     "hot-shard",
+    "slo-burning",
+    "metric-anomaly",
 )
+
+#: Event kinds that become diagnoses directly (no world-scan equivalent).
+TELEMETRY_KINDS = ("slo-burning", "metric-anomaly")
 
 _SEVERITY_RANK = {"critical": 0, "warning": 1}
 
@@ -96,11 +103,36 @@ def _detection_time(world, node, default: float) -> float:
     return default
 
 
+def _diagnose_telemetry(events: Sequence[ControlEvent], out: List[Diagnosis]) -> None:
+    """Telemetry alerts become diagnoses verbatim, dated at alert time."""
+    for event in events:
+        if event.kind not in TELEMETRY_KINDS:
+            continue
+        attrs = {k: v for k, v in event.attrs}
+        default = "critical" if event.kind == "slo-burning" else "warning"
+        out.append(
+            Diagnosis(
+                condition=event.kind,
+                severity=str(attrs.get("severity", default)),
+                detected_at=event.at,
+                state=event.state,
+                node=event.node,
+                evidence=event.attrs,
+            )
+        )
+
+
 def _diagnose_owner_lost(world, out: List[Diagnosis]) -> None:
     manager = world.manager
+    detector = getattr(world, "detector", None)
     for name in sorted(manager.states):
         registered = manager.states[name]
         if registered.owner.alive or registered.plan is None:
+            continue
+        if detector is not None and detector.detected_by_anyone(registered.owner) is None:
+            # A deployment that runs a detector learns about deaths through
+            # it: the scan must not cheat past the heartbeat protocol by
+            # reading ground-truth liveness the control plane cannot know.
             continue
         out.append(
             Diagnosis(
@@ -239,12 +271,14 @@ def diagnose(
 
     Returns a deterministic list: critical conditions first, then by
     condition name and subject — the order the controller works in.
-    ``events`` sharpen timestamps (a detector-declared failure dates an
-    ``owner-lost`` diagnosis at declaration time, not scan time) but never
-    create a diagnosis on their own.
+    Detector events sharpen timestamps (a detector-declared failure dates
+    an ``owner-lost`` diagnosis at declaration time, not scan time) but
+    never create a diagnosis on their own; telemetry events
+    (:data:`TELEMETRY_KINDS`) *do* — an SLO burn or a metric anomaly is an
+    observation the world scan has no other way to reproduce.
     """
-    del events  # correlated via world.detector; kept for call-site symmetry
     out: List[Diagnosis] = []
+    _diagnose_telemetry(events, out)
     _diagnose_owner_lost(world, out)
     _diagnose_replica_thin(world, out)
     _diagnose_chain_too_long(world, out)
@@ -261,4 +295,4 @@ def diagnose(
     return out
 
 
-__all__ = ["CONDITIONS", "Diagnosis", "diagnose", "link_plans"]
+__all__ = ["CONDITIONS", "Diagnosis", "TELEMETRY_KINDS", "diagnose", "link_plans"]

@@ -2,11 +2,15 @@
 
 The control loop (see :mod:`repro.control.controller`) is event-driven at
 its edge: the heartbeat failure detector pushes ``node-failed`` events the
-moment a member is declared dead, and the controller's periodic world scan
+moment a member is declared dead, the controller's periodic world scan
 adds ``node-degraded`` events for hosts running far below their nominal
-link capacity. Events are *signals*, not conclusions — the diagnosis layer
-(:mod:`repro.control.diagnose`) correlates them with the actual world
-state before anything acts.
+link capacity, and the telemetry layer (:mod:`repro.obs.slo`,
+:mod:`repro.obs.anomaly`) emits ``slo-burning`` / ``metric-anomaly``
+alerts over continuous series. Detector and scan events are *signals*,
+not conclusions — the diagnosis layer (:mod:`repro.control.diagnose`)
+correlates them with the actual world state before anything acts;
+telemetry alerts *are* the observation (no world scan can reproduce a
+burn rate), so they become diagnoses directly.
 
 Events carry the simulated timestamp at which the underlying condition was
 *detected*; remediation MTTR is measured from that instant to the moment
@@ -20,8 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-#: The event kinds the controller understands.
-EVENT_KINDS = ("node-failed", "node-degraded")
+#: The event kinds the controller understands. ``node-failed`` comes from
+#: the heartbeat detector, ``node-degraded`` from the controller's world
+#: scan; ``slo-burning`` and ``metric-anomaly`` are telemetry alerts
+#: (:mod:`repro.obs.slo` / :mod:`repro.obs.anomaly`) — unlike the first
+#: two, they carry conditions the world scan cannot see, so the diagnosis
+#: layer turns them into diagnoses directly.
+EVENT_KINDS = ("node-failed", "node-degraded", "slo-burning", "metric-anomaly")
 
 
 @dataclass(frozen=True)

@@ -11,15 +11,23 @@ scenario TOML.
 
 :func:`default_policy` encodes the paper-faithful defaults:
 
-=================  ==============  =====================================
-condition          action          escalation
-=================  ==============  =====================================
-owner-lost         recover         — (nothing is bigger than recovery)
-replica-thin       re-replicate    rewrite (fresh full save round)
-chain-too-long     compact-chain   —
-flaky-node         rebalance       evict-node
-hot-shard          rebalance       —
-=================  ==============  =====================================
+=================  =================  ==================================
+condition          action             escalation
+=================  =================  ==================================
+owner-lost         recover            — (nothing is bigger than recovery)
+replica-thin       re-replicate       rewrite (fresh full save round)
+chain-too-long     compact-chain      —
+flaky-node         rebalance          evict-node
+hot-shard          rebalance          —
+slo-burning        recover-degraded   —
+metric-anomaly     rebalance          —
+=================  =================  ==================================
+
+The telemetry rows make alerts actionable out of the box: a burning SLO
+proactively recovers every registered state stranded on a dead owner
+(the alert names the symptom, not the corpse), and a node-scoped metric
+anomaly drains the implicated node. Both are inert in deployments that
+never attach a telemetry pipeline — the conditions simply never arise.
 """
 
 from __future__ import annotations
@@ -153,6 +161,17 @@ def default_policy(
             ),
             PolicyRule(
                 condition="hot-shard",
+                action="rebalance",
+                max_retries=max_retries,
+            ),
+            PolicyRule(
+                condition="slo-burning",
+                action="recover-degraded",
+                max_retries=max_retries,
+                params=recover_params,
+            ),
+            PolicyRule(
+                condition="metric-anomaly",
                 action="rebalance",
                 max_retries=max_retries,
             ),

@@ -69,16 +69,23 @@ class FailureDetector:
     def stop(self) -> None:
         self._running = False
 
+    @property
+    def running(self) -> bool:
+        return self._running
+
     def _round(self) -> None:
         if not self._running:
             return
         sim = self.overlay.sim
+        pings = 0
+        peak_suspicion = 0
         for watcher in self.overlay.alive_nodes():
             for member in watcher.leaf_set.members():
                 key = (watcher.name, member.name)
                 if key in self._declared:
                     continue
                 # Ping...
+                pings += 1
                 self.overlay.network.send_control(
                     watcher.host, member.host, HEARTBEAT_BYTES
                 )
@@ -91,6 +98,7 @@ class FailureDetector:
                 else:
                     missed = self._missed.get(key, 0) + 1
                     self._missed[key] = missed
+                    peak_suspicion = max(peak_suspicion, missed)
                     if missed >= self.config.suspicion_threshold:
                         self._declared.add(key)
                         self.detections.append((watcher.name, member.name, sim.now))
@@ -104,6 +112,11 @@ class FailureDetector:
                         sim.metrics.counter("detector.detections").add(1)
                         if self.on_failure is not None:
                             self.on_failure(watcher, member, sim.now)
+        # Telemetry: ping volume and the round's deepest suspicion level
+        # (how close the protocol is to its next declaration).
+        if pings:
+            sim.metrics.counter("detector.heartbeats").add(pings)
+        sim.metrics.series("detector.suspicion").record(sim.now, float(peak_suspicion))
         sim.schedule(self.config.period, self._round)
 
     def detected_by_anyone(self, node: DhtNode) -> Optional[float]:

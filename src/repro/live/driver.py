@@ -181,6 +181,9 @@ class LoadDriver:
         mechanism: Optional[MechanismImpl] = None,
         bulk_state_mb: float = 0.0,
         drain_grace: float = 120.0,
+        telemetry=None,
+        controller=None,
+        poll_interval: float = 0.5,
     ) -> None:
         if duration <= 0:
             raise LiveHarnessError("duration must be positive")
@@ -194,6 +197,8 @@ class LoadDriver:
             raise LiveHarnessError("shuffle_fraction must lie in [0, 1]")
         if bulk_state_mb < 0:
             raise LiveHarnessError("bulk_state_mb must be non-negative")
+        if poll_interval <= 0:
+            raise LiveHarnessError("poll_interval must be positive")
         self.cell = cell
         self.rate = rate
         self.duration = float(duration)
@@ -213,6 +218,28 @@ class LoadDriver:
         self.backend = cell.backend
         self.manager = cell.manager
         self.network = cell.network
+
+        # ----- telemetry / control-plane embedding
+        #: A :class:`~repro.obs.timeseries.TelemetryPipeline` the driver
+        #: samples once per tick (the driver owns the loop, so the
+        #: pipeline's own scheduler stays off).
+        self.telemetry = telemetry
+        #: A :class:`~repro.control.controller.Controller` polled every
+        #: ``poll_interval`` seconds; when set, the driver stops recovering
+        #: on its own at the kill — the control plane must notice the fault
+        #: (heartbeats, SLO burn) and begin recovery via ``poll()``.
+        self.controller = controller
+        self.poll_interval = float(poll_interval)
+        self._next_poll = self.poll_interval
+        self._served_mark = 0
+        self._replayed_mark = 0
+        self._latency_hist = self.sim.metrics.histogram("live.latency_s")
+        if telemetry is not None:
+            # Bounded raw observations feed the pipeline's windowed
+            # percentile series (live.latency_s.p50 / .p99).
+            self._latency_hist.keep_observations(8192)
+        if controller is not None:
+            controller.on_recovery_begun = self._controller_begun
 
         # task_id ("count[0]") -> (component_id, index) for every
         # protected task, captured while they are all still alive.
@@ -322,6 +349,7 @@ class LoadDriver:
         backlog = len(self._arrivals) + max(0, self._replay_boundary - self._stream_index)
         self._backlog.sample(t, backlog)
         self.sim.metrics.series("live.backlog").record(t, float(backlog))
+        self._sample_series(t)
         if (
             self._recovered_at is not None
             and self._catchup_mark is not None
@@ -343,6 +371,28 @@ class LoadDriver:
             self._finalize(t)
             return
         self.sim.schedule(self.tick, self._tick)
+
+    def _sample_series(self, t: float) -> None:
+        """Per-tick instrumentation, then the telemetry/control pump."""
+        dt = t - self._last_tick
+        metrics = self.sim.metrics
+        if dt > 0:
+            metrics.series("live.throughput").record(
+                t, (self._served - self._served_mark) / dt
+            )
+            metrics.series("live.replay_rate").record(
+                t, (self._replayed - self._replayed_mark) / dt
+            )
+            metrics.series("live.arrival_rate").record(
+                t, self.rate.rate_at(min(t, self.duration))
+            )
+        self._served_mark = self._served
+        self._replayed_mark = self._replayed
+        if self.telemetry is not None:
+            self.telemetry.sample(t)
+        if self.controller is not None and t >= self._next_poll:
+            self.controller.poll()
+            self._next_poll = t + self.poll_interval
 
     def _generate_arrivals(self, t: float) -> None:
         t1 = min(t, self.duration)
@@ -391,6 +441,7 @@ class LoadDriver:
         else:
             arrival = self._arrivals.popleft()
             self._recorder.record(arrival, t)
+            self._latency_hist.observe(t - arrival, at=t)
             self._served += 1
 
     # --------------------------------------------------------- checkpoints
@@ -445,11 +496,23 @@ class LoadDriver:
         cid, index = self.kill_task
         owner = self.backend.protected_tasks()[self._kill_tid].node
         self.cluster.kill_task(cid, index)
-        self.cell.overlay.fail_node(owner)
+        # With a heartbeat detector watching, instant leaf-set repair would
+        # remove the dead member before any ping could miss — the death
+        # must be *detected*, not administratively erased.
+        detector_watching = (
+            self.controller is not None and self.controller.world.detector is not None
+        )
+        self.cell.overlay.fail_node(owner, repair=not detector_watching)
         replacement = self.cell.overlay.replacement_for(owner)
         self._replacement = replacement
         if self.app_load:
             self._reroute_flows(owner, replacement)
+        if self.controller is not None:
+            # Fault injection only: the control plane must notice the
+            # death on its own (heartbeat declarations, SLO burn) and
+            # begin recovery through poll(); _controller_begun chains the
+            # revive/rollback/rewind onto whatever it starts.
+            return
         handles = []
         for name in sorted(self.manager.states):
             registered = self.manager.states[name]
@@ -460,6 +523,12 @@ class LoadDriver:
         self._recoveries_left = len(handles)
         for handle in handles:
             handle.on_done(self._recovery_landed)
+
+    def _controller_begun(self, state_name: str, handle) -> None:
+        """The controller's poll() started a recovery: chain revival to it."""
+        del state_name
+        self._recoveries_left += 1
+        handle.on_done(self._recovery_landed)
 
     def _reroute_flows(self, dead: DhtNode, replacement: DhtNode) -> None:
         """Re-open app flows the host failure aborted, onto the replacement.
@@ -581,6 +650,14 @@ class LoadDriver:
         self._end = t
         if self.app_load:
             self._close_app_flows()
+        # Self-rescheduling attachments must stop or the simulator never
+        # goes idle and run() never returns.
+        if self.telemetry is not None and getattr(self.telemetry, "running", False):
+            self.telemetry.stop()
+        if self.controller is not None:
+            detector = self.controller.world.detector
+            if detector is not None and getattr(detector, "running", False):
+                detector.stop()
 
     def _build_report(self) -> LiveReport:
         window = recovery_window(self.cell.tracer)

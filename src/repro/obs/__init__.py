@@ -14,7 +14,17 @@ The layer behind every "where does recovery time go" question:
 - :mod:`repro.obs.profile` — deterministic :class:`RecoveryProfile`
   reports (blame fractions, bytes on the critical path, predicted vs
   observed mechanism cost);
-- :mod:`repro.obs.flamegraph` — collapsed-stack and speedscope exports.
+- :mod:`repro.obs.flamegraph` — collapsed-stack and speedscope exports;
+- :mod:`repro.obs.timeseries` — the continuous telemetry pipeline: a
+  :class:`TelemetryPipeline` samples the registry and tracer into
+  ring-buffered sim-clock series (rates from counters, windowed
+  percentiles from histograms);
+- :mod:`repro.obs.slo` — multi-window burn-rate SLO alerting over those
+  series;
+- :mod:`repro.obs.anomaly` — rolling median/MAD z-score spikes and
+  level-shift change points;
+- :mod:`repro.obs.dashboard` — a self-contained HTML dashboard (inline
+  SVG sparklines, SLO status, alert timeline).
 
 Enable per deployment (``SR3.create(trace=True)``), per scenario
 (``build_scenario(tracer=Tracer())``), or process-wide for the bench CLI
@@ -58,6 +68,15 @@ from repro.obs.registry import (
     default_registry,
     enable_metrics_collection,
     metrics_collection_enabled,
+)
+from repro.obs.anomaly import Anomaly, AnomalyDetector
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.slo import DEFAULT_WINDOWS, SLO, BurnWindow, SLOAlert, SLOEngine
+from repro.obs.timeseries import (
+    SERIES_KINDS,
+    SeriesBuffer,
+    TelemetryConfig,
+    TelemetryPipeline,
 )
 from repro.obs.tracer import (
     NULL_SPAN,
@@ -115,4 +134,17 @@ __all__ = [
     "speedscope_document",
     "write_flamegraph",
     "write_speedscope",
+    "SERIES_KINDS",
+    "SeriesBuffer",
+    "TelemetryConfig",
+    "TelemetryPipeline",
+    "SLO",
+    "BurnWindow",
+    "DEFAULT_WINDOWS",
+    "SLOAlert",
+    "SLOEngine",
+    "Anomaly",
+    "AnomalyDetector",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -20,8 +20,8 @@ round-trips to a JSON-friendly dict for experiment artifacts.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Tuple
+from collections import defaultdict, deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -130,14 +130,46 @@ class Histogram:
 
     Simulation scale (thousands of observations, not billions) makes exact
     storage cheaper than bucketing and keeps percentiles precise.
+
+    Aggregates carry no timestamps, which is all the batch reports need —
+    but time-series replay (the telemetry pipeline's windowed percentiles)
+    does need them, so :meth:`keep_observations` opts a histogram into
+    retaining the most recent ``(sim_time, value)`` pairs in a bounded
+    ring. The time comes from the registry's bound clock (the simulator
+    binds its virtual clock at construction) unless the call site passes
+    ``at`` explicitly.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, clock: Optional[Callable[[], float]] = None) -> None:
         self.name = name
         self._values: List[float] = []
+        self._clock = clock
+        self._observations: Optional[Deque[Tuple[float, float]]] = None
 
-    def observe(self, value: float) -> None:
-        self._values.append(float(value))
+    def keep_observations(self, limit: int = 4096) -> None:
+        """Opt in to timestamped retention of the last ``limit`` observations."""
+        if limit <= 0:
+            raise ValueError("observation limit must be positive")
+        if self._observations is None:
+            self._observations = deque(maxlen=int(limit))
+        elif self._observations.maxlen != int(limit):
+            self._observations = deque(self._observations, maxlen=int(limit))
+
+    @property
+    def keeps_observations(self) -> bool:
+        return self._observations is not None
+
+    def observations(self) -> List[Tuple[float, float]]:
+        """The retained ``(sim_time, value)`` pairs, oldest first."""
+        return list(self._observations or ())
+
+    def observe(self, value: float, at: Optional[float] = None) -> None:
+        value = float(value)
+        self._values.append(value)
+        if self._observations is not None:
+            if at is None:
+                at = self._clock() if self._clock is not None else 0.0
+            self._observations.append((float(at), value))
 
     @property
     def count(self) -> int:
@@ -195,6 +227,13 @@ class MetricsRegistry:
         self._series: Dict[str, TimeSeries] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._clock: Optional[Callable[[], float]] = None
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Give timestamped observations a time source (the sim's clock)."""
+        self._clock = clock
+        for histogram in self._histograms.values():
+            histogram._clock = clock
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -213,7 +252,7 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
+            self._histograms[name] = Histogram(name, clock=self._clock)
         return self._histograms[name]
 
     def counters(self) -> Dict[str, Counter]:
@@ -238,18 +277,25 @@ class MetricsRegistry:
             },
             "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
             "histograms": {
-                n: {
-                    "count": h.count,
-                    "total": h.total,
-                    "min": h.min if h.count else None,
-                    "max": h.max if h.count else None,
-                }
+                n: self._dump_histogram(h)
                 for n, h in sorted(self._histograms.items())
             },
             "series": {
                 n: s.points for n, s in sorted(self._series.items())
             },
         }
+
+    @staticmethod
+    def _dump_histogram(h: Histogram) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "count": h.count,
+            "total": h.total,
+            "min": h.min if h.count else None,
+            "max": h.max if h.count else None,
+        }
+        if h.keeps_observations:
+            out["observations"] = [[t, v] for t, v in h.observations()]
+        return out
 
 
 # ----------------------------------------------------- process-wide collection

@@ -1,0 +1,317 @@
+"""Sim-clock time-series: what the system looks like *while it runs*.
+
+Everything else in :mod:`repro.obs` is post-hoc — span profiles after the
+run, one-shot metric dumps at exit. This module is the continuous view:
+a :class:`TelemetryPipeline` periodically samples the simulation's
+existing :class:`~repro.obs.registry.MetricsRegistry` (and, when tracing
+is on, the span tracer) into named :class:`SeriesBuffer` ring buffers, so
+the SLO engine (:mod:`repro.obs.slo`) and the anomaly detector
+(:mod:`repro.obs.anomaly`) can evaluate objectives over sliding windows
+on the virtual clock.
+
+The pipeline *subscribes* rather than re-instruments: call sites keep
+feeding the registry primitives they already feed, and each sample tick
+derives series from them —
+
+- every counter becomes a rate series (``<name>.rate``, delta/interval);
+- every gauge becomes a sampled level series (same name);
+- every registry :class:`~repro.obs.registry.TimeSeries` is mirrored
+  point-for-point (cursor-copied, so nothing is scanned twice);
+- every histogram that opted into timestamped observations
+  (:meth:`~repro.obs.registry.Histogram.keep_observations`) yields
+  windowed percentile series (``<name>.p50``, ``<name>.p99``, ...);
+- open ``recovery*`` spans become a ``telemetry.recovery_active`` gauge
+  series when the simulation carries a real tracer.
+
+Buffers are bounded (``retention`` points) and optionally downsampled to
+a fixed ``resolution`` bucket width with last/max/mean aggregation, so a
+long-running cell holds a dashboard's worth of history, not the full
+firehose. Everything is deterministic: sampling happens on the simulated
+clock, iteration orders are sorted, and no wall time is consulted.
+
+Embeddings that own the event loop (the live :class:`~repro.live.driver.
+LoadDriver`) call :meth:`TelemetryPipeline.sample` from their own tick;
+batch embeddings call :meth:`TelemetryPipeline.start` to self-schedule
+on the simulator and :meth:`TelemetryPipeline.stop` before waiting for
+quiescence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.util.stats import percentile
+
+__all__ = [
+    "SeriesBuffer",
+    "TelemetryConfig",
+    "TelemetryPipeline",
+]
+
+#: Series kinds the pipeline produces (anomaly detection keys off these).
+SERIES_KINDS = ("gauge", "rate", "series", "percentile")
+
+_AGGREGATIONS = ("last", "max", "mean")
+
+
+class SeriesBuffer:
+    """A bounded, optionally downsampled ``(time, value)`` ring buffer.
+
+    With ``resolution`` zero every appended point is kept verbatim (up to
+    ``retention`` points). With a positive resolution, points are snapped
+    to ``floor(t / resolution) * resolution`` buckets and same-bucket
+    appends fold into one point via ``agg`` (``last``, ``max`` or
+    ``mean``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = "gauge",
+        retention: int = 4096,
+        resolution: float = 0.0,
+        agg: str = "last",
+    ) -> None:
+        if retention <= 0:
+            raise ConfigError("retention must be positive")
+        if resolution < 0:
+            raise ConfigError("resolution must be non-negative")
+        if agg not in _AGGREGATIONS:
+            raise ConfigError(f"unknown aggregation {agg!r}; known: {_AGGREGATIONS}")
+        if kind not in SERIES_KINDS:
+            raise ConfigError(f"unknown series kind {kind!r}; known: {SERIES_KINDS}")
+        self.name = name
+        self.kind = kind
+        self.resolution = float(resolution)
+        self.agg = agg
+        self._points: Deque[Tuple[float, float]] = deque(maxlen=int(retention))
+        self._bucket_sum = 0.0
+        self._bucket_count = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def _bucket(self, t: float) -> float:
+        return math.floor(t / self.resolution) * self.resolution
+
+    def append(self, t: float, value: float) -> None:
+        t = float(t)
+        value = float(value)
+        if self._points and t < self._points[-1][0]:
+            raise ConfigError(
+                f"series {self.name!r} points must be appended in time order"
+            )
+        if self.resolution <= 0:
+            self._points.append((t, value))
+            return
+        bucket = self._bucket(t)
+        if self._points and self._points[-1][0] == bucket:
+            prev = self._points[-1][1]
+            if self.agg == "max":
+                value = max(prev, value)
+            elif self.agg == "mean":
+                self._bucket_sum += value
+                self._bucket_count += 1
+                value = self._bucket_sum / self._bucket_count
+            self._points[-1] = (bucket, value)
+        else:
+            self._bucket_sum = value
+            self._bucket_count = 1
+            self._points.append((bucket, value))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self._points[-1] if self._points else None
+
+    def window(self, t0: float, t1: float) -> List[Tuple[float, float]]:
+        """Points with ``t0 < t <= t1`` (trailing-window semantics)."""
+        return [(t, v) for t, v in self._points if t0 < t <= t1]
+
+    def values_in(self, t0: float, t1: float) -> List[float]:
+        return [v for _, v in self.window(t0, t1)]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "points": [[t, v] for t, v in self._points],
+        }
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Sampling knobs for one pipeline."""
+
+    #: Seconds of simulated time between samples in self-scheduled mode
+    #: (embeddings that own the loop call :meth:`sample` at their own pace).
+    interval: float = 0.5
+    #: Ring size per series.
+    retention: int = 4096
+    #: Downsampling bucket width; 0 keeps native resolution.
+    resolution: float = 0.0
+    #: Trailing window for histogram percentile series.
+    histogram_window: float = 5.0
+    #: Percentiles derived from observation-keeping histograms.
+    histogram_percentiles: Tuple[float, ...] = (50.0, 99.0)
+    #: Sample open recovery spans into ``telemetry.recovery_active``.
+    track_spans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigError("interval must be positive")
+        if self.retention <= 0:
+            raise ConfigError("retention must be positive")
+        if self.resolution < 0:
+            raise ConfigError("resolution must be non-negative")
+        if self.histogram_window <= 0:
+            raise ConfigError("histogram_window must be positive")
+        for q in self.histogram_percentiles:
+            if not 0 <= q <= 100:
+                raise ConfigError("histogram percentiles must lie in [0, 100]")
+
+
+class TelemetryPipeline:
+    """Samples one simulation's registry (and tracer) into series buffers."""
+
+    def __init__(self, sim, config: Optional[TelemetryConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or TelemetryConfig()
+        self._buffers: Dict[str, SeriesBuffer] = {}
+        self._counter_totals: Dict[str, float] = {}
+        self._series_cursors: Dict[str, int] = {}
+        self._last_sample: Optional[float] = None
+        self._running = False
+        self.samples = 0
+
+    # ------------------------------------------------------------- buffers
+
+    def _ensure(self, name: str, kind: str) -> SeriesBuffer:
+        buf = self._buffers.get(name)
+        if buf is None:
+            buf = SeriesBuffer(
+                name,
+                kind=kind,
+                retention=self.config.retention,
+                resolution=self.config.resolution,
+                agg="mean" if kind == "rate" else "last",
+            )
+            self._buffers[name] = buf
+        return buf
+
+    def series(self, name: str) -> SeriesBuffer:
+        """The named buffer; raises for names the pipeline never produced."""
+        buf = self._buffers.get(name)
+        if buf is None:
+            raise ConfigError(
+                f"unknown telemetry series {name!r}; known: {self.names()}"
+            )
+        return buf
+
+    def has_series(self, name: str) -> bool:
+        return name in self._buffers
+
+    def names(self) -> List[str]:
+        return sorted(self._buffers)
+
+    def record(self, name: str, t: float, value: float, kind: str = "gauge") -> None:
+        """Directly feed a point (for embedders with pipeline-only signals)."""
+        self._ensure(name, kind).append(t, value)
+
+    # ------------------------------------------------------------ sampling
+
+    def sample(self, now: Optional[float] = None) -> None:
+        """Take one sample of everything the registry and tracer expose."""
+        if now is None:
+            now = self.sim.now
+        registry = self.sim.metrics
+        dt = None if self._last_sample is None else now - self._last_sample
+        if dt is not None and dt <= 0:
+            return  # same-instant re-sample: nothing new can have happened
+        counters = registry.counters()
+        for name in sorted(counters):
+            total = counters[name].total
+            previous = self._counter_totals.get(name)
+            self._counter_totals[name] = total
+            if previous is None or dt is None:
+                continue  # first sight: no interval to rate over
+            self._ensure(f"{name}.rate", "rate").append(now, (total - previous) / dt)
+        gauges = registry.gauges()
+        for name in sorted(gauges):
+            self._ensure(name, "gauge").append(now, gauges[name].value)
+        all_series = registry.all_series()
+        for name in sorted(all_series):
+            points = all_series[name].points
+            cursor = self._series_cursors.get(name, 0)
+            buf = self._ensure(name, "series")
+            for t, v in points[cursor:]:
+                buf.append(t, v)
+            self._series_cursors[name] = len(points)
+        histograms = registry.histograms()
+        for name in sorted(histograms):
+            histogram = histograms[name]
+            if not histogram.keeps_observations:
+                continue
+            window_values = [
+                v
+                for t, v in histogram.observations()
+                if now - self.config.histogram_window < t <= now
+            ]
+            if not window_values:
+                continue
+            for q in self.config.histogram_percentiles:
+                label = ("%g" % q).replace(".", "_")
+                self._ensure(f"{name}.p{label}", "percentile").append(
+                    now, percentile(window_values, q)
+                )
+        if self.config.track_spans:
+            spans = getattr(self.sim.tracer, "spans", None)
+            if spans:  # NullTracer keeps an empty list — nothing to count
+                open_recoveries = sum(
+                    1
+                    for span in spans
+                    if span.category.startswith("recovery") and not span.done
+                )
+                self._ensure("telemetry.recovery_active", "gauge").append(
+                    now, float(open_recoveries)
+                )
+        self._last_sample = now
+        self.samples += 1
+
+    # ------------------------------------------- self-scheduled (batch) mode
+
+    def start(self) -> None:
+        """Schedule periodic sampling on the simulator itself."""
+        if self._running:
+            raise ConfigError("telemetry pipeline already running")
+        self._running = True
+        self.sim.schedule(self.config.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop self-scheduled sampling (the pending tick becomes a no-op)."""
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample(self.sim.now)
+        self.sim.schedule(self.config.interval, self._tick)
+
+    # -------------------------------------------------------------- export
+
+    def to_dict(self) -> Dict[str, object]:
+        """A deterministic, JSON-friendly snapshot of every buffer."""
+        return {
+            "format": "sr3-telemetry-1",
+            "samples": self.samples,
+            "series": {name: self._buffers[name].to_dict() for name in self.names()},
+        }

@@ -83,6 +83,7 @@ class Simulator:
         self.tracer = tracer if tracer is not None else default_tracer()
         self.tracer.bind_clock(lambda: self._now)
         self.metrics = metrics if metrics is not None else default_registry("sim")
+        self.metrics.bind_clock(lambda: self._now)
         # Opt-in firehose: emit one instant trace event per executed
         # callback. Off by default even with tracing on — event volume
         # dwarfs the spans the components themselves emit.

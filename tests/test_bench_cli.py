@@ -179,3 +179,77 @@ class TestSubcommands:
     def test_legacy_list_flag_does_not_break(self, capsys):
         assert main(["--list"]) == 0
         assert "remediate" in capsys.readouterr().out
+
+
+class TestDashboardSubcommand:
+    def test_writes_selfcontained_html_and_timeline(self, tmp_path, capsys):
+        import re
+
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--out", str(out), "--duration", "20"]) == 0
+        html = out.read_text(encoding="utf-8")
+        assert "sr3-dashboard-1" in html
+        assert "<script" not in html.lower()
+        assert re.search(r"\b(src|href)\s*=", html, re.IGNORECASE) is None
+        captured = capsys.readouterr()
+        assert "slo-burning" in captured.out  # the alert timeline printed
+        assert "recovered" in captured.out
+        assert str(out) in captured.err
+
+    def test_detector_mode(self, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        assert main(
+            ["dashboard", "--out", str(out), "--mode", "detector", "--duration", "20"]
+        ) == 0
+        assert "heartbeat detector" in capsys.readouterr().out
+        assert "detector.suspicion" in out.read_text(encoding="utf-8")
+
+
+class TestUniformObservabilityFlags:
+    def test_control_supports_metrics_and_trace(self, tmp_path, capsys):
+        metrics_out = tmp_path / "metrics.json"
+        trace_out = tmp_path / "trace.json"
+        report_out = tmp_path / "resilience-control.json"
+        assert (
+            main(
+                [
+                    "control",
+                    "--scenario",
+                    "crash-wave",
+                    "--out",
+                    str(report_out),
+                    "--metrics-out",
+                    str(metrics_out),
+                    "--trace",
+                    str(trace_out),
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "metrics written to" in captured.err
+        assert "trace written to" in captured.err
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["format"] == "sr3-metrics-1"
+        assert metrics["registries"]
+        trace = json.loads(trace_out.read_text())
+        assert trace["traceEvents"]  # the chaos cell joined the collector
+
+    def test_campaign_supports_metrics_out(self, tmp_path, capsys):
+        metrics_out = tmp_path / "metrics.json"
+        report_out = tmp_path / "resilience-smoke.json"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "smoke",
+                    "--out",
+                    str(report_out),
+                    "--metrics-out",
+                    str(metrics_out),
+                ]
+            )
+            == 0
+        )
+        assert "metrics written to" in capsys.readouterr().err
+        assert json.loads(metrics_out.read_text())["registries"]

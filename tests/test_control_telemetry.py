@@ -1,0 +1,285 @@
+"""Telemetry alerts as first-class control-plane signals.
+
+Covers the observe → diagnose path for ``slo-burning`` / ``metric-anomaly``
+events, the detector-gated owner-loss scan, the non-blocking
+:meth:`Controller.poll` mode, and event-log ordering under same-instant
+emissions.
+"""
+
+
+from repro.bench.harness import build_scenario, saved_state
+from repro.control import (
+    ControlConfig,
+    Controller,
+    ControlPlane,
+    PolicyRule,
+    PolicyTable,
+)
+from repro.control.diagnose import diagnose
+from repro.control.events import ControlEvent, EventLog, watch_detector
+from repro.obs.anomaly import AnomalyDetector
+from repro.obs.slo import SLO, BurnWindow, SLOEngine
+from repro.obs.timeseries import TelemetryPipeline
+from repro.util.sizes import MB
+
+
+def controller_for(scenario, **kwargs):
+    return Controller(ControlPlane.from_deployment(scenario), **kwargs)
+
+
+def burning_engine(scenario, state=None):
+    """An SLO engine whose backlog series is deep in violation *now*."""
+    pipeline = TelemetryPipeline(scenario.sim)
+    now = scenario.sim.now
+    for i in range(10):
+        pipeline.record("live.backlog", now - 0.9 + 0.1 * i, 500.0)
+    engine = SLOEngine(pipeline)
+    engine.add(
+        SLO(
+            name="backlog-drains",
+            series="live.backlog",
+            objective="le",
+            threshold=200.0,
+            budget=0.1,
+            windows=(BurnWindow(long_s=3.0, short_s=1.0, burn_rate=4.0),),
+            state=state,
+        )
+    )
+    return pipeline, engine
+
+
+class TestTelemetryDiagnosis:
+    def test_slo_event_becomes_critical_diagnosis(self):
+        sc = build_scenario(num_nodes=32, seed=11)
+        event = ControlEvent(
+            kind="slo-burning",
+            at=4.5,
+            state="app/state",
+            attrs=(("severity", "critical"), ("slo", "backlog-drains")),
+        )
+        out = diagnose(ControlPlane.from_deployment(sc), [event])
+        burning = [d for d in out if d.condition == "slo-burning"]
+        assert len(burning) == 1
+        d = burning[0]
+        assert d.severity == "critical"
+        assert d.detected_at == 4.5
+        assert d.subject == "app/state"
+        assert dict(d.evidence)["slo"] == "backlog-drains"
+
+    def test_anomaly_event_defaults_to_warning(self):
+        sc = build_scenario(num_nodes=32, seed=11)
+        event = ControlEvent(kind="metric-anomaly", at=2.0, node="node-3")
+        out = diagnose(ControlPlane.from_deployment(sc), [event])
+        anomalous = [d for d in out if d.condition == "metric-anomaly"]
+        assert len(anomalous) == 1
+        assert anomalous[0].severity == "warning"
+        assert anomalous[0].subject == "node-3"
+
+    def test_detector_events_never_create_diagnoses(self):
+        sc = build_scenario(num_nodes=32, seed=11)
+        event = ControlEvent(kind="node-failed", at=1.0, node="node-1")
+        out = diagnose(ControlPlane.from_deployment(sc), [event])
+        assert out == []  # healthy world: the event alone proves nothing
+
+
+class TestObserve:
+    def test_observe_pumps_engine_and_anomalies(self):
+        sc = build_scenario(num_nodes=32, seed=12)
+        pipeline, engine = burning_engine(sc)
+        for i in range(16):
+            pipeline.record("tput", float(i), 100.0, kind="rate")
+        pipeline.record("tput", 16.0, 5_000.0)
+        anomalies = AnomalyDetector(pipeline, series=("tput",), window=16, min_points=8)
+        ctl = controller_for(sc, slo_engine=engine, anomalies=anomalies)
+        events = ctl.observe()
+        kinds = sorted(e.kind for e in events)
+        assert kinds == ["metric-anomaly", "slo-burning"]
+        # The log keeps both for the report, and a re-observe is quiet.
+        assert len(ctl.log) == 2
+        assert ctl.observe() == []
+
+    def test_latched_alert_does_not_reobserve(self):
+        sc = build_scenario(num_nodes=32, seed=12)
+        _, engine = burning_engine(sc)
+        ctl = controller_for(sc, slo_engine=engine)
+        assert [e.kind for e in ctl.observe()] == ["slo-burning"]
+        assert ctl.observe() == []  # latched: the burn is still on, no re-page
+
+
+class TestAlertTriggeredRemediation:
+    def test_burning_slo_recovers_dead_owner(self):
+        sc = build_scenario(num_nodes=32, seed=13)
+        registered, _ = saved_state(sc, "app/state", 16 * MB)
+        old_owner = registered.owner
+        sc.overlay.fail_node(old_owner)
+        _, engine = burning_engine(sc)
+        # The only rule responds to the alert — the world scan's own
+        # owner-lost diagnosis has no rule and must park, proving the
+        # recovery was telemetry-triggered.
+        policy = PolicyTable(
+            rules=[
+                PolicyRule(
+                    condition="slo-burning",
+                    action="recover-degraded",
+                    params=(("mechanism", "star"),),
+                )
+            ]
+        )
+        ctl = controller_for(
+            sc, policy=policy, slo_engine=engine,
+            config=ControlConfig(verify_invariants=False),
+        )
+        alert_at = sc.sim.now
+        records = ctl.run()
+        assert [r.diagnosis.condition for r in records] == ["slo-burning"]
+        record = records[0]
+        assert record.action == "recover-degraded"
+        assert record.verified
+        assert record.diagnosis.detected_at == alert_at
+        assert record.mttr_s is not None and record.mttr_s > 0
+        assert registered.owner.alive
+        assert registered.owner is not old_owner
+
+
+class TestDetectorGating:
+    class FakeDetector:
+        """Duck-typed heartbeat detector: declaration is programmable."""
+
+        def __init__(self, declared=None):
+            self.on_failure = None
+            self.declared = declared
+
+        def detected_by_anyone(self, node):
+            return self.declared
+
+    def dead_owner_scenario(self, declared):
+        sc = build_scenario(num_nodes=32, seed=14)
+        registered, _ = saved_state(sc, "app/state", 16 * MB)
+        sc.overlay.fail_node(registered.owner)
+        detector = self.FakeDetector(declared)
+        return sc, Controller(ControlPlane.from_deployment(sc, detector=detector))
+
+    def test_undeclared_death_is_invisible(self):
+        sc, ctl = self.dead_owner_scenario(declared=None)
+        assert not any(d.condition == "owner-lost" for d in ctl.diagnose())
+
+    def test_declared_death_is_dated_at_declaration(self):
+        sc, ctl = self.dead_owner_scenario(declared=3.25)
+        lost = [d for d in ctl.diagnose() if d.condition == "owner-lost"]
+        assert len(lost) == 1
+        assert lost[0].detected_at == 3.25
+
+    def test_no_detector_reads_ground_truth(self):
+        sc = build_scenario(num_nodes=32, seed=14)
+        registered, _ = saved_state(sc, "app/state", 16 * MB)
+        sc.overlay.fail_node(registered.owner)
+        ctl = controller_for(sc)
+        assert any(d.condition == "owner-lost" for d in ctl.diagnose())
+
+
+class TestPollMode:
+    def test_poll_begins_recovery_and_dates_mttr_at_landing(self):
+        sc = build_scenario(num_nodes=32, seed=15)
+        registered, _ = saved_state(sc, "app/state", 16 * MB)
+        sc.overlay.fail_node(registered.owner)
+        ctl = controller_for(sc, config=ControlConfig(verify_invariants=False))
+        begun_states = []
+        ctl.on_recovery_begun = lambda name, handle: begun_states.append(name)
+        begun = ctl.poll()
+        recoveries = [r for r in begun if r.diagnosis.condition == "owner-lost"]
+        assert len(recoveries) == 1
+        record = recoveries[0]
+        assert record.attempts == 1 and not record.verified
+        assert begun_states == ["app/state"]
+        sc.sim.run_until_idle()
+        assert record.landed_at is not None
+        landed_at = record.landed_at
+        # Let the clock move on past the landing before the sweep verifies,
+        # so the test can see which instant MTTR is dated at.
+        sc.sim.schedule(5.0, lambda: None)
+        sc.sim.run_until_idle()
+        assert sc.sim.now > landed_at
+        ctl.sweep()
+        assert record.verified
+        assert record.resolved_at == landed_at
+        assert record.mttr_s is not None and 0 < record.mttr_s < 5.0
+        assert registered.owner.alive
+
+    def test_poll_is_idempotent_while_open(self):
+        sc = build_scenario(num_nodes=32, seed=16)
+        registered, _ = saved_state(sc, "app/state", 16 * MB)
+        sc.overlay.fail_node(registered.owner)
+        ctl = controller_for(sc, config=ControlConfig(verify_invariants=False))
+        first = ctl.poll()
+        assert any(r.diagnosis.condition == "owner-lost" for r in first)
+        assert ctl.poll() == []  # everything in flight or deferred: no dupes
+        sc.sim.run_until_idle()
+        ctl.sweep()
+        lost = [r for r in ctl.records if r.diagnosis.condition == "owner-lost"]
+        assert len(lost) == 1 and lost[0].verified
+
+    def test_poll_defers_blocking_actions_to_sweep(self):
+        sc = build_scenario(num_nodes=32, seed=17)
+        registered, _ = saved_state(sc, "app/state", 16 * MB)
+        holder = next(
+            p.node for p in registered.plan.placements if p.node is not registered.owner
+        )
+        sc.overlay.fail_node(holder)
+        ctl = controller_for(sc, config=ControlConfig(verify_invariants=False))
+        assert ctl.poll() == []  # re-replicate blocks: deferred, not begun
+        thin = [r for r in ctl.records if r.diagnosis.condition == "replica-thin"]
+        assert len(thin) == 1 and thin[0].attempts == 0
+        sc.sim.run_until_idle()
+        ctl.sweep()
+        assert thin[0].verified
+        assert thin[0].attempts == 1
+        for index in registered.plan.shard_indexes():
+            assert len(registered.plan.providers_for(index)) >= registered.num_replicas
+
+    def test_poll_parks_unmatched_diagnoses(self):
+        sc = build_scenario(num_nodes=32, seed=18)
+        registered, _ = saved_state(sc, "app/state", 16 * MB)
+        sc.overlay.fail_node(registered.owner)
+        ctl = controller_for(
+            sc, policy=PolicyTable(), config=ControlConfig(verify_invariants=False)
+        )
+        assert ctl.poll() == []
+        assert ctl.records == []
+        assert ctl.poll() == []  # parked, not re-diagnosed forever
+
+
+class TestEventLogSameInstant:
+    def test_same_instant_events_keep_emit_order(self):
+        log = EventLog()
+        for node in ("c", "a", "b"):
+            log.emit(ControlEvent(kind="node-failed", at=5.0, node=node))
+        assert [e.node for e in log.drain()] == ["c", "a", "b"]
+        log.emit(ControlEvent(kind="node-degraded", at=5.0, node="d"))
+        log.emit(ControlEvent(kind="node-degraded", at=5.0, node="e"))
+        assert [e.node for e in log.drain()] == ["d", "e"]
+        assert [e.node for e in log.history()] == ["c", "a", "b", "d", "e"]
+
+    def test_watch_detector_same_instant_duplicates_collapse(self):
+        class Thing:
+            def __init__(self, name):
+                self.name = name
+
+        chained = []
+        detector = Thing("det")
+        detector.on_failure = lambda watcher, member, at: chained.append(
+            (watcher.name, member.name, at)
+        )
+        log = EventLog()
+        watch_detector(detector, log)
+        dead = Thing("node-9")
+        other = Thing("node-4")
+        # Two watchers declare the same member at the same instant, and a
+        # third declares a different member at that instant too.
+        detector.on_failure(Thing("w1"), dead, 7.0)
+        detector.on_failure(Thing("w2"), dead, 7.0)
+        detector.on_failure(Thing("w3"), other, 7.0)
+        events = log.drain()
+        assert [(e.node, e.at) for e in events] == [("node-9", 7.0), ("node-4", 7.0)]
+        assert dict(events[0].attrs) == {"watcher": "w1"}  # first declaration wins
+        # The pre-existing callback still saw every declaration.
+        assert [c[0] for c in chained] == ["w1", "w2", "w3"]

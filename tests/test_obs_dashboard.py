@@ -1,0 +1,100 @@
+"""The self-contained HTML dashboard renderer."""
+
+import re
+
+from repro.obs.anomaly import AnomalyDetector
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.slo import SLO, BurnWindow, SLOEngine
+from repro.obs.timeseries import TelemetryPipeline
+from repro.sim import Simulator
+
+
+def instrumented_pipeline():
+    pipe = TelemetryPipeline(Simulator())
+    for i in range(16):
+        pipe.record("live.backlog", float(i), 10.0 + (0.5 if i % 2 else -0.5))
+        pipe.record("live.throughput", float(i), 100.0, kind="rate")
+    pipe.record("live.backlog", 16.0, 500.0)  # excursion: alert + anomaly
+    return pipe
+
+
+def full_stack():
+    pipe = instrumented_pipeline()
+    engine = SLOEngine(pipe)
+    engine.add(
+        SLO(
+            name="backlog-ok",
+            series="live.backlog",
+            objective="le",
+            threshold=200.0,
+            budget=0.1,
+            windows=(BurnWindow(long_s=1.0, short_s=0.5, burn_rate=4.0),),
+        )
+    )
+    engine.evaluate(16.0)
+    anomalies = AnomalyDetector(pipe, series=("live.backlog",), window=16, min_points=8)
+    anomalies.scan(16.0)
+    return pipe, engine, anomalies
+
+
+class TestSelfContainment:
+    def test_no_external_references_or_scripts(self):
+        pipe, engine, anomalies = full_stack()
+        html = render_dashboard(pipe, slo_engine=engine, anomalies=anomalies)
+        assert "<script" not in html.lower()
+        # Every byte is inline: no attribute fetches anything remote.
+        assert re.search(r"\b(src|href)\s*=", html, re.IGNORECASE) is None
+        assert "http://" not in html and "https://" not in html
+
+    def test_structure_and_marker(self):
+        pipe, engine, anomalies = full_stack()
+        html = render_dashboard(
+            pipe, slo_engine=engine, anomalies=anomalies, title="unit <cell>"
+        )
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</html>")
+        assert "sr3-dashboard-1" in html
+        assert "unit &lt;cell&gt;" in html  # titles are escaped
+        # One sparkline card per series.
+        assert html.count("<polyline") == 2
+        assert "live.backlog" in html and "live.throughput" in html
+
+    def test_slo_and_timeline_sections(self):
+        pipe, engine, anomalies = full_stack()
+        assert engine.alerts and anomalies.anomalies  # the excursion registered
+        html = render_dashboard(pipe, slo_engine=engine, anomalies=anomalies)
+        assert "SLO status" in html
+        assert "backlog-ok" in html
+        assert "Alert timeline" in html
+        assert "burning on live.backlog" in html
+        assert "spike on live.backlog" in html
+
+    def test_sections_collapse_when_absent(self):
+        html = render_dashboard(instrumented_pipeline())
+        assert "SLO status" not in html
+        assert "Alert timeline" not in html
+        assert "Remediations" not in html
+        assert "Series" in html
+
+    def test_empty_series_renders_placeholder(self):
+        html = render_dashboard(TelemetryPipeline(Simulator()))
+        assert "0 series" in html
+        assert "sr3-dashboard-1" in html
+
+
+class TestDeterminism:
+    def test_same_input_same_bytes(self):
+        pipe1, engine1, anomalies1 = full_stack()
+        pipe2, engine2, anomalies2 = full_stack()
+        one = render_dashboard(pipe1, slo_engine=engine1, anomalies=anomalies1)
+        two = render_dashboard(pipe2, slo_engine=engine2, anomalies=anomalies2)
+        assert one == two
+
+    def test_write_dashboard_round_trips(self, tmp_path):
+        pipe, engine, anomalies = full_stack()
+        out = tmp_path / "dash.html"
+        returned = write_dashboard(str(out), pipe, slo_engine=engine, anomalies=anomalies)
+        assert returned == str(out)
+        on_disk = out.read_text(encoding="utf-8")
+        assert on_disk == render_dashboard(pipe, slo_engine=engine, anomalies=anomalies)
+        assert len(on_disk) > 1000
