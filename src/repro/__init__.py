@@ -40,6 +40,7 @@ from repro.control import (
     PolicyTable,
     RemediationRecord,
     default_policy,
+    shard_granular_policy,
 )
 from repro.errors import ReproError
 from repro.live import LiveCell, LiveReport, LoadDriver, build_live_cell
@@ -59,6 +60,7 @@ __all__ = [
     "PolicyTable",
     "RemediationRecord",
     "default_policy",
+    "shard_granular_policy",
     "LiveCell",
     "LiveReport",
     "LoadDriver",

@@ -42,6 +42,7 @@ from repro.recovery.selection import (
     recommended_tree_fanout_bits,
     select_mechanism,
 )
+from repro.recovery.standby import StandbyRecovery
 from repro.recovery.star import StarRecovery
 from repro.recovery.tree import TreeRecovery
 from repro.sim.kernel import Simulator
@@ -136,12 +137,14 @@ _KNOB_ALIASES = {
         "branch_depth": "branch_depth",
         "sub_shards": "sub_shards",
     },
+    Mechanism.STANDBY: {"fetch_window": "fetch_window"},
 }
 
 _MECHANISM_CLASSES = {
     Mechanism.STAR: StarRecovery,
     Mechanism.LINE: LineRecovery,
     Mechanism.TREE: TreeRecovery,
+    Mechanism.STANDBY: StandbyRecovery,
 }
 
 
@@ -284,7 +287,7 @@ class SR3:
         The single entry point behind the paper's ``StarDefine`` /
         ``LineDefine`` / ``TreeDefine``. ``mechanism`` may be:
 
-        - a name (``"star"``, ``"line"``, ``"tree"``),
+        - a name (``"star"``, ``"line"``, ``"tree"``, ``"standby"``),
         - a :class:`Mechanism` enum member, or
         - an already-configured implementation instance (knobs must then
           be empty).
@@ -295,7 +298,9 @@ class SR3:
         ``path_length``, ``sub_shards``) are accepted too. Returns the
         configured mechanism instance.
         """
-        if isinstance(mechanism, (StarRecovery, LineRecovery, TreeRecovery)):
+        if isinstance(
+            mechanism, (StarRecovery, LineRecovery, TreeRecovery, StandbyRecovery)
+        ):
             if knobs:
                 raise RecoveryError(
                     "knobs cannot be combined with a pre-built mechanism instance"
@@ -308,7 +313,7 @@ class SR3:
                 except ValueError:
                     raise RecoveryError(
                         f"unknown mechanism {mechanism!r}; "
-                        f"expected 'star', 'line' or 'tree'"
+                        f"expected 'star', 'line', 'tree' or 'standby'"
                     ) from None
             else:
                 member = mechanism

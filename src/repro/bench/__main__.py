@@ -94,6 +94,7 @@ EXPERIMENTS: Dict[str, Callable] = {
         mechanism=args.mechanism, seed=args.seed
     ),
     "live": _live,
+    "standby": lambda args: exp.standby_compare(seed=args.seed),
     "slo": lambda args: exp.slo_observability(seed=args.seed),
 }
 
@@ -613,7 +614,7 @@ def _dispatch_subcommand(argv) -> int:
     )
     parser.add_argument(
         "--mechanism",
-        choices=("star", "line", "tree", "speculation"),
+        choices=("star", "line", "tree", "standby", "speculation"),
         default="star",
         help="recovery mechanism the controller's policy pins (default: star)",
     )

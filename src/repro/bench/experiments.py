@@ -1255,6 +1255,163 @@ def live_recovery(
     return result
 
 
+# ------------------------------------------------------------ standby tier
+
+
+def standby_compare(
+    seed: int = 0,
+    duration_s: float = 30.0,
+    base_rate: float = 300.0,
+    peak_rate: float = 1_500.0,
+    bulk_state_mb: float = 32.0,
+    service_rate: float = 3_000.0,
+    num_nodes: int = 16,
+    link_mbit: float = 200.0,
+) -> ExperimentResult:
+    """The hot-standby tier vs the star/line/tree spectrum (``bench standby``).
+
+    Phase one runs the four tiers under the live harness at equal state
+    size: same flash crowd, two checkpoint barriers (the second re-warms
+    the standby incrementally), kill at t=10. The standby run provisions a
+    warm replica after every barrier, so its takeover is an ownership flip
+    plus tail replay — ``standby/takeover_vs_tree`` gates that the
+    takeover stays under 0.2x the tree makespan, and the steady-state
+    bills the other tiers never pay are reported as
+    ``standby/steady_overhead_bytes`` (shuffle-bandwidth spent syncing)
+    and ``standby/steady_memory_bytes`` (the warm image's footprint).
+
+    Phase two calibrates the closed-form cost model online: five batch
+    recoveries at varied sizes feed an
+    :class:`~repro.recovery.online.OnlineSelector`, and the gated
+    ``standby/calibrated_error`` must land strictly below
+    ``standby/static_error`` — the fitted line absorbs the systematic
+    contention the closed form ignores. Both serializers round-trip
+    through dicts as part of the run (a mismatch fails the experiment).
+    """
+    import time
+
+    from repro.live.driver import LoadDriver, build_live_cell
+    from repro.live.rates import FlashCrowd
+    from repro.recovery.online import OnlineSelector
+    from repro.recovery.selection import SelectionExplanation, explain_selection
+    from repro.recovery.standby import StandbyRecovery
+
+    result = ExperimentResult(
+        "standby",
+        "Hot-standby takeover vs star/line/tree and online cost calibration",
+        columns=["tier", "recovery_s", "drain_s", "p99_during_s"],
+    )
+    extras: Dict[str, float] = {}
+    wall_start = time.perf_counter()
+
+    tiers = dict(_mechanisms(bulk_state_mb * MB))
+    tiers["standby"] = StandbyRecovery()
+    recovery_times: Dict[str, float] = {}
+    for label in sorted(tiers):
+        is_standby = label == "standby"
+        cell = build_live_cell(
+            num_nodes=num_nodes,
+            seed=seed,
+            link_mbit=link_mbit,
+            trace_name=f"standby-{label}",
+        )
+        rate = FlashCrowd(
+            base=base_rate, peak=peak_rate, at=8.0, ramp=2.0, hold=10.0, decay=5.0
+        )
+        driver = LoadDriver(
+            cell,
+            rate,
+            duration=duration_s,
+            service_rate=service_rate,
+            checkpoint_at=(5.0, 8.0),
+            kill_at=10.0,
+            mechanism=tiers[label],
+            bulk_state_mb=bulk_state_mb,
+            standby=is_standby,
+        )
+        report = driver.run()
+        if report.recovery_s is None or report.drain_s is None:
+            raise BenchmarkError(
+                f"standby/{label}: run never recovered or never drained"
+            )
+        recovery_times[label] = report.recovery_s
+        result.add_row(
+            tier=label,
+            recovery_s=round(report.recovery_s, 6),
+            drain_s=round(report.drain_s, 6),
+            p99_during_s=round(report.phase("during").p99, 6),
+        )
+        extras[f"standby/{label}/recovery_s"] = round(report.recovery_s, 6)
+        if is_standby:
+            extras["standby/steady_overhead_bytes"] = round(
+                cell.sim.metrics.counter("standby.sync_bytes").total, 3
+            )
+            extras["standby/steady_memory_bytes"] = round(
+                driver.standby_warm_bytes, 3
+            )
+            if driver.standby_syncs < 2:
+                raise BenchmarkError(
+                    "standby: expected an incremental re-warm per barrier, "
+                    f"got {driver.standby_syncs} sync rounds"
+                )
+
+    takeover_ratio = recovery_times["standby"] / recovery_times["tree"]
+    if takeover_ratio >= 0.2:
+        raise BenchmarkError(
+            f"standby takeover is {takeover_ratio:.3f}x the tree makespan at "
+            f"{bulk_state_mb:.0f} MB; the warm tier must stay under 0.2x"
+        )
+    extras["standby/takeover_vs_tree"] = round(takeover_ratio, 6)
+
+    # ---- phase two: online calibration over five observed recoveries.
+    selector = OnlineSelector()
+    for size_mb in DEFAULT_SIZES_MB:
+        size = size_mb * MB
+        scenario = build_scenario(
+            num_nodes=64, seed=seed, trace_name=f"standby-cal-{size_mb}"
+        )
+        saved_state(scenario, "app/state", size)
+        mechanism = _mechanisms(size)["tree"]
+        observed = timed_recovery(scenario, mechanism, "app/state").duration
+        explanation = explain_selection(SelectionInputs(state_bytes=size))
+        explanation.observed_seconds["tree"] = observed
+        restored = SelectionExplanation.from_dict(explanation.to_dict())
+        if restored != explanation:
+            raise BenchmarkError(
+                "SelectionExplanation did not survive a dict round-trip"
+            )
+        selector.observe_explanation(restored)
+    if selector.samples("tree") < 5:
+        raise BenchmarkError(
+            f"calibration needs >= 5 observed recoveries, got "
+            f"{selector.samples('tree')}"
+        )
+    static_error = selector.static_error("tree")
+    calibrated_error = selector.calibrated_error("tree")
+    if static_error is None or calibrated_error is None:
+        raise BenchmarkError("calibration produced no error estimates")
+    if not calibrated_error < static_error:
+        raise BenchmarkError(
+            f"calibrated error {calibrated_error:.6f} is not strictly below "
+            f"static error {static_error:.6f} after "
+            f"{selector.samples('tree')} observations"
+        )
+    if OnlineSelector.from_dict(selector.to_dict()) != selector:
+        raise BenchmarkError("OnlineSelector did not survive a dict round-trip")
+    extras["standby/static_error"] = round(static_error, 6)
+    extras["standby/calibrated_error"] = round(calibrated_error, 6)
+    extras["standby/wall_s"] = round(time.perf_counter() - wall_start, 2)
+
+    result.extra["baseline_metrics"] = extras
+    result.notes = (
+        "takeover_vs_tree gates the warm tier under 0.2x tree at equal "
+        "state size; calibrated_error must land strictly below "
+        "static_error after five observed recoveries; wall_s stays "
+        "informational"
+    )
+    return result
+
+
 # ----------------------------------------------------------- SLO telemetry
 
 

@@ -36,7 +36,12 @@ from repro.control.controller import (
 )
 from repro.control.diagnose import CONDITIONS, TELEMETRY_KINDS, Diagnosis, diagnose
 from repro.control.events import EVENT_KINDS, ControlEvent, EventLog, watch_detector
-from repro.control.policy import PolicyRule, PolicyTable, default_policy
+from repro.control.policy import (
+    PolicyRule,
+    PolicyTable,
+    default_policy,
+    shard_granular_policy,
+)
 
 __all__ = [
     "ACTIONS",
@@ -59,4 +64,5 @@ __all__ = [
     "PolicyRule",
     "PolicyTable",
     "default_policy",
+    "shard_granular_policy",
 ]

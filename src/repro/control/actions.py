@@ -27,6 +27,15 @@ The catalog:
   node (all of them for a flaky node, the excess for a hot shard).
 - :class:`EvictNode` (``evict-node``) — rebalance everything away, then
   remove the node from the ring (refuses to evict a state owner).
+- :class:`SplitShard` (``split-shard``) — split a state's hottest shard
+  in two (``m`` → ``m + 1``) and land the result with a fresh save.
+- :class:`MergeShards` (``merge-shards``) — fold two cold shards into
+  one (``m`` → ``m - 1``), same re-save flow.
+- :class:`MigrateShard` (``migrate-shard``) — live-migrate one replica
+  of the heaviest shard off a flagged node; chain and checksums are
+  untouched.
+- :class:`PromoteStandby` (``promote-standby``) — flip ownership to a
+  warm standby (dead owner) or re-warm a lagging one (live owner).
 """
 
 from __future__ import annotations
@@ -166,6 +175,7 @@ def _mechanism_instance(name: str):
     if _MECHANISM_FACTORIES is None:
         from repro.recovery.line import LineRecovery
         from repro.recovery.speculation import SpeculativeStarRecovery
+        from repro.recovery.standby import StandbyRecovery
         from repro.recovery.star import StarRecovery
         from repro.recovery.tree import TreeRecovery
 
@@ -173,6 +183,7 @@ def _mechanism_instance(name: str):
             "star": StarRecovery,
             "line": LineRecovery,
             "tree": TreeRecovery,
+            "standby": StandbyRecovery,
             "speculation": SpeculativeStarRecovery,
         }
     factory = _MECHANISM_FACTORIES.get(name)
@@ -477,6 +488,10 @@ class RebalanceNode(Action):
             held: List[Tuple[object, PlacedShard]] = []
             for plan in link_plans(registered):
                 for placed in list(plan.placements):
+                    # Standby copies are pinned to their standby node; they
+                    # are warm capacity, not load to shed.
+                    if getattr(placed.replica, "standby", False):
+                        continue
                     if (
                         placed.node.node_id == node.node_id
                         and node.get_shard(placed.replica.key) is not None
@@ -489,6 +504,8 @@ class RebalanceNode(Action):
                 counts: Dict[str, int] = {}
                 for plan in link_plans(registered):
                     for placed in plan.placements:
+                        if getattr(placed.replica, "standby", False):
+                            continue
                         if placed.node.alive and placed.node.get_shard(
                             placed.replica.key
                         ):
@@ -584,6 +601,301 @@ class EvictNode(Action):
         return self._ok(changed=True, evicted=node.name)
 
 
+def _current_base_shards(world, registered) -> List[object]:
+    """The state's current image re-partitioned at today's shard count.
+
+    Folds any delta chain first (like :class:`RewriteState`), so the
+    split/merge primitives — which operate on a base partition — always
+    see a single-version, chain-link-zero shard set.
+    """
+    from repro.state.partitioner import partition_snapshot, partition_synthetic
+    from repro.state.version import StateVersion
+
+    snapshot = world.manager.recovered_snapshot(registered.state_name)
+    num_shards = (
+        registered.chain.num_shards
+        if registered.chain is not None and registered.chain.links
+        else len(registered.shards)
+    )
+    if len(snapshot) == 0 and snapshot.size_bytes > 0:
+        version = StateVersion(world.sim.now, snapshot.version.sequence + 1)
+        return partition_synthetic(
+            registered.state_name, int(snapshot.size_bytes), num_shards, version
+        )
+    return partition_snapshot(snapshot, num_shards)
+
+
+class _RepartitionAction(Action):
+    """Shared machinery for shard-count changes (split/merge).
+
+    Both actions fold the chain into the current image, apply the
+    state-plane primitive, and land the result with a fresh full save —
+    the save round re-scatters the relabeled shards across the leaf set
+    and ``state_checksums()`` ground truth is preserved because the
+    merged snapshot is byte-identical before and after.
+    """
+
+    def _guard(self, world, diagnosis: Diagnosis):
+        state_name = diagnosis.state
+        registered = (
+            world.manager.states.get(state_name) if state_name is not None else None
+        )
+        if registered is None:
+            return None, self._fail(f"unknown state {state_name!r}")
+        if registered.plan is None:
+            return None, self._fail(f"state {state_name!r} was never saved")
+        if not registered.owner.alive:
+            return None, self._fail(
+                f"owner of {state_name!r} is dead; recover it before repartitioning"
+            )
+        return registered, None
+
+    def _resize(self, world, registered, transform, **details) -> ActionOutcome:
+        state_name = registered.state_name
+        try:
+            shards = transform(_current_base_shards(world, registered))
+            world.manager.refresh_shards(state_name, shards)
+            handle = world.manager.save(state_name)
+            world.sim.run_until_idle()
+            result = handle.result
+        except ReproError as exc:
+            return self._fail(str(exc))
+        rewritten = getattr(world, "on_chain_rewritten", None)
+        if rewritten is not None:
+            rewritten(state_name)
+        return self._ok(
+            changed=True,
+            num_shards=len(shards),
+            duration_s=round(result.duration, 6),
+            **details,
+        )
+
+
+@register_action
+class SplitShard(_RepartitionAction):
+    """Split the hottest shard of a state in two (``m`` → ``m + 1``).
+
+    The target defaults to the state's largest shard; a policy can pin
+    ``shard_index`` explicitly. Keys divide by the next hash bit, so the
+    halves land deterministically and later saves re-scatter them.
+    """
+
+    name = "split-shard"
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        from repro.state.partitioner import split_shard
+
+        registered, failure = self._guard(world, diagnosis)
+        if failure is not None:
+            return failure
+        index = self.params.get("shard_index")
+        if index is None:
+            hottest = max(
+                registered.shards, key=lambda s: (s.size_bytes, -s.index)
+            )
+            index = hottest.index
+        index = int(index)
+        return self._resize(
+            world,
+            registered,
+            lambda shards: split_shard(shards, index),
+            split_index=index,
+        )
+
+
+@register_action
+class MergeShards(_RepartitionAction):
+    """Merge two cold shards into one (``m`` → ``m - 1``).
+
+    The pair comes from the ``shard-cold`` diagnosis evidence when
+    available (the two smallest cold shards), else the two smallest
+    shards overall; ``index_a``/``index_b`` params pin it explicitly.
+    A state already at two shards is left alone — merging further would
+    erase the parallelism every recovery mechanism feeds on.
+    """
+
+    name = "merge-shards"
+
+    def _pick_pair(self, diagnosis: Diagnosis, registered) -> Tuple[int, int]:
+        a = self.params.get("index_a")
+        b = self.params.get("index_b")
+        if a is not None and b is not None:
+            low, high = sorted((int(a), int(b)))
+            return low, high
+        by_size = {s.index: s.size_bytes for s in registered.shards}
+        evidence = dict(diagnosis.evidence)
+        cold = [i for i in evidence.get("cold_shards", ()) if i in by_size]
+        pool = cold if len(cold) >= 2 else sorted(by_size)
+        ranked = sorted(pool, key=lambda i: (by_size[i], i))
+        low, high = sorted(ranked[:2])
+        return low, high
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        from repro.state.partitioner import merge_shard_pair
+
+        registered, failure = self._guard(world, diagnosis)
+        if failure is not None:
+            return failure
+        if len(registered.shards) <= 2:
+            return self._ok(changed=False, num_shards=len(registered.shards))
+        low, high = self._pick_pair(diagnosis, registered)
+        return self._resize(
+            world,
+            registered,
+            lambda shards: merge_shard_pair(shards, low, high),
+            merged=f"{low}+{high}",
+        )
+
+
+@register_action
+class MigrateShard(Action):
+    """Move one replica of the heaviest shard off a flagged node.
+
+    The surgical alternative to :class:`RebalanceNode`: a single replica
+    of the node's largest resident shard rides a live network flow to the
+    least-loaded eligible node, preserving checksums, versions, and the
+    chain (no re-save, no ground-truth re-anchor). Standby copies are
+    never migrated — they are pinned to their standby node.
+    """
+
+    name = "migrate-shard"
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        from repro.state.placement import migrate_replica
+
+        node = _node_by_name(world, diagnosis.node)
+        if node is None or not node.alive:
+            return self._ok(changed=False)
+        names = (
+            [diagnosis.state]
+            if diagnosis.state is not None
+            else sorted(world.manager.states)
+        )
+        best = None
+        for state_name in names:
+            registered = world.manager.states.get(state_name)
+            if registered is None:
+                continue
+            for plan in link_plans(registered):
+                for placed in plan.placements:
+                    if getattr(placed.replica, "standby", False):
+                        continue
+                    if placed.node.node_id != node.node_id:
+                        continue
+                    if node.get_shard(placed.replica.key) is None:
+                        continue
+                    rank = (placed.replica.size_bytes, repr(placed.replica.key))
+                    if best is None or rank > best[0]:
+                        best = (rank, plan, placed)
+        if best is None:
+            return self._ok(changed=False)
+        _, plan, placed = best
+        shard_index = placed.replica.shard.index
+        occupied = {p.node.node_id for p in plan.for_shard(shard_index)}
+        if plan.owner is not None:
+            occupied.add(plan.owner.node_id)
+        target = _pick_target(world, occupied, {})
+        if target is None:
+            return self._fail(
+                f"no eligible node to absorb shard {shard_index} from {node.name}"
+            )
+        try:
+            migrate_replica(
+                world.network,
+                plan,
+                shard_index,
+                node,
+                target,
+                tag=CONTROL_TAG,
+                parent_span=parent_span,
+            )
+        except ReproError as exc:
+            return self._fail(str(exc))
+        world.sim.run_until_idle()
+        return self._ok(
+            changed=True,
+            shard=shard_index,
+            source=node.name,
+            target=target.name,
+            bytes=round(placed.replica.size_bytes, 3),
+        )
+
+
+@register_action
+class PromoteStandby(Action):
+    """Flip ownership to the warm standby, or re-warm a lagging one.
+
+    Dead owner: the standby node becomes the replacement and the standby
+    mechanism takes over (warm segments are already local, so the
+    takeover is a flip plus tail replay). Live owner (the
+    ``standby-lagging`` case): the standby merely fell behind — an
+    incremental :func:`~repro.recovery.standby.sync_standby` ships only
+    the missing segments.
+    """
+
+    name = "promote-standby"
+
+    def execute(self, world, diagnosis: Diagnosis, parent_span=None) -> ActionOutcome:
+        from repro.recovery.standby import (
+            StandbyRecovery,
+            standby_coverage,
+            standby_node_of,
+            sync_standby,
+        )
+
+        state_name = diagnosis.state
+        registered = (
+            world.manager.states.get(state_name) if state_name is not None else None
+        )
+        if registered is None:
+            return self._fail(f"unknown state {state_name!r}")
+        if registered.plan is None:
+            return self._fail(f"state {state_name!r} was never saved")
+        standby = standby_node_of(registered)
+        if standby is None:
+            return self._fail(f"state {state_name!r} has no provisioned standby")
+        if not registered.owner.alive:
+            try:
+                handle = world.manager.recover(
+                    state_name,
+                    replacement=standby,
+                    mechanism=StandbyRecovery(),
+                    parent_span=parent_span,
+                )
+
+                def handover(result, reg=registered, node=standby) -> None:
+                    reg.owner = node
+
+                handle.on_done(handover)
+                world.sim.run_until_idle()
+                result = handle.result
+            except (ReproError, OverlayError) as exc:
+                return self._fail(str(exc))
+            return self._ok(
+                changed=True,
+                promoted=standby.name,
+                mechanism=result.mechanism,
+                duration_s=round(result.duration, 6),
+            )
+        covered, total = standby_coverage(registered, standby)
+        if total and covered == total:
+            return self._ok(changed=False, standby=standby.name)
+        try:
+            sync = sync_standby(
+                world.manager.ctx, registered, standby, parent_span=parent_span
+            )
+            world.sim.run_until_idle()
+            report = sync.report
+        except ReproError as exc:
+            return self._fail(str(exc))
+        return self._ok(
+            changed=True,
+            standby=standby.name,
+            copied_segments=report.copied_segments,
+            copied_bytes=round(report.copied_bytes, 3),
+        )
+
+
 __all__ = [
     "ACTIONS",
     "Action",
@@ -591,11 +903,15 @@ __all__ = [
     "CompactChain",
     "CONTROL_TAG",
     "EvictNode",
+    "MergeShards",
+    "MigrateShard",
+    "PromoteStandby",
     "ReReplicate",
     "RebalanceNode",
     "RecoverDegraded",
     "RecoverState",
     "RewriteState",
+    "SplitShard",
     "build_action",
     "register_action",
 ]

@@ -52,6 +52,11 @@ class ControlConfig:
     #: A node holding this multiple of a state's per-node mean replica
     #: count is a hot shard.
     hot_shard_factor: float = 3.0
+    #: A shard below this fraction of its state's mean byte size is cold
+    #: (merge candidate). Zero — the default — disables the scan, keeping
+    #: deployments that never opted into shard-granular remediation
+    #: byte-identical.
+    cold_shard_factor: float = 0.0
     #: Run the chaos invariant checkers as part of verification.
     verify_invariants: bool = True
 
@@ -268,6 +273,7 @@ class Controller:
             events,
             flaky_bw_fraction=self.config.flaky_bw_fraction,
             hot_shard_factor=self.config.hot_shard_factor,
+            cold_shard_factor=self.config.cold_shard_factor,
         )
 
     def step(self) -> List[RemediationRecord]:

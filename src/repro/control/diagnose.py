@@ -23,6 +23,13 @@ Conditions, in the order the paper's operational story motivates them:
   recovery that touches it.
 - ``hot-shard`` — one node holds a disproportionate share of a state's
   replicas; losing it would thin many segments at once.
+- ``shard-cold`` — two or more of a state's shards are far below the mean
+  shard size; the partition is over-split and the per-shard fixed costs
+  (setup, placement, chain bookkeeping) are being paid for nothing. Only
+  scanned when a positive ``cold_shard_factor`` opts in.
+- ``standby-lagging`` — a state has a provisioned warm standby
+  (``repro.recovery.standby``) whose image no longer covers every chain
+  segment; its flip-takeover guarantee is quietly eroding.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.control.events import ControlEvent
 
-#: Every condition the diagnosis scan can produce. The first five come
+#: Every condition the diagnosis scan can produce. The first seven come
 #: from the world scan; the last two are telemetry-driven (the ordering is
 #: load-bearing: it is the controller's work order within a severity).
 CONDITIONS = (
@@ -41,6 +48,8 @@ CONDITIONS = (
     "chain-too-long",
     "flaky-node",
     "hot-shard",
+    "shard-cold",
+    "standby-lagging",
     "slo-burning",
     "metric-anomaly",
 )
@@ -238,6 +247,10 @@ def _diagnose_hot_shard(world, out: List[Diagnosis], hot_shard_factor: float) ->
                     continue
                 if placed.node.get_shard(placed.replica.key) is None:
                     continue
+                if getattr(placed.replica, "standby", False):
+                    # A warm standby concentrates segments by design; that
+                    # is provisioning, not skew to disperse.
+                    continue
                 counts[placed.node.name] = counts.get(placed.node.name, 0) + 1
                 nodes_by_name[placed.node.name] = placed.node
         if len(counts) < 2:
@@ -261,11 +274,91 @@ def _diagnose_hot_shard(world, out: List[Diagnosis], hot_shard_factor: float) ->
                 )
 
 
+def _diagnose_shard_cold(world, out: List[Diagnosis], cold_shard_factor: float) -> None:
+    """Two or more shards far below the state's mean size: merge fodder.
+
+    Disabled while ``cold_shard_factor`` is zero (the default): no shard
+    sits below zero times the mean, so deployments that never opt in see
+    no new diagnoses.
+    """
+    if cold_shard_factor <= 0:
+        return
+    manager = world.manager
+    for name in sorted(manager.states):
+        registered = manager.states[name]
+        shards = registered.shards
+        if len(shards) <= 2:
+            # Merging a 2-shard partition would collapse it entirely.
+            continue
+        sizes = {s.index: s.size_bytes for s in shards}
+        total = float(sum(sizes.values()))
+        if total <= 0:
+            continue
+        mean = total / len(sizes)
+        cold = sorted(
+            index
+            for index, size in sizes.items()
+            if size < cold_shard_factor * mean
+        )
+        if len(cold) < 2:
+            continue
+        out.append(
+            Diagnosis(
+                condition="shard-cold",
+                severity="warning",
+                detected_at=world.sim.now,
+                state=name,
+                evidence=(
+                    ("cold_shards", tuple(cold)),
+                    ("mean_bytes", round(mean, 6)),
+                    ("factor", cold_shard_factor),
+                ),
+            )
+        )
+
+
+def _diagnose_standby_lagging(world, out: List[Diagnosis]) -> None:
+    """A provisioned warm standby no longer covers every chain segment.
+
+    Only states that actually hold standby-flagged replicas can produce
+    this, so standby-free deployments are untouched. Dead owners are the
+    ``owner-lost`` scan's business — this one guards the takeover
+    guarantee while the primary is still up.
+    """
+    from repro.recovery.standby import standby_coverage, standby_node_of
+
+    manager = world.manager
+    for name in sorted(manager.states):
+        registered = manager.states[name]
+        if not registered.owner.alive:
+            continue
+        standby = standby_node_of(registered)
+        if standby is None:
+            continue
+        covered, total = standby_coverage(registered, standby)
+        if covered >= total:
+            continue
+        out.append(
+            Diagnosis(
+                condition="standby-lagging",
+                severity="warning",
+                detected_at=world.sim.now,
+                state=name,
+                node=standby.name,
+                evidence=(
+                    ("covered_segments", covered),
+                    ("total_segments", total),
+                ),
+            )
+        )
+
+
 def diagnose(
     world,
     events: Sequence[ControlEvent] = (),
     flaky_bw_fraction: float = 0.5,
     hot_shard_factor: float = 3.0,
+    cold_shard_factor: float = 0.0,
 ) -> List[Diagnosis]:
     """Scan the world (and fresh events) for remediable conditions.
 
@@ -284,6 +377,8 @@ def diagnose(
     _diagnose_chain_too_long(world, out)
     _diagnose_flaky_node(world, out, flaky_bw_fraction)
     _diagnose_hot_shard(world, out, hot_shard_factor)
+    _diagnose_shard_cold(world, out, cold_shard_factor)
+    _diagnose_standby_lagging(world, out)
     out.sort(
         key=lambda d: (
             _SEVERITY_RANK.get(d.severity, 9),

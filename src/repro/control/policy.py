@@ -19,6 +19,8 @@ replica-thin       re-replicate       rewrite (fresh full save round)
 chain-too-long     compact-chain      —
 flaky-node         rebalance          evict-node
 hot-shard          rebalance          —
+shard-cold         merge-shards       —
+standby-lagging    promote-standby    —
 slo-burning        recover-degraded   —
 metric-anomaly     rebalance          —
 =================  =================  ==================================
@@ -28,6 +30,14 @@ proactively recovers every registered state stranded on a dead owner
 (the alert names the symptom, not the corpse), and a node-scoped metric
 anomaly drains the implicated node. Both are inert in deployments that
 never attach a telemetry pipeline — the conditions simply never arise.
+The same holds for the shard-granular rows: ``shard-cold`` needs an
+opted-in ``cold_shard_factor`` and ``standby-lagging`` needs a
+provisioned standby, so neither fires in a stock deployment.
+
+:func:`shard_granular_policy` goes one step further for deployments that
+want per-shard remediation: it reroutes ``hot-shard`` from wholesale
+rebalancing to :class:`~repro.control.actions.SplitShard` (split the hot
+shard, re-save, let placement re-scatter the halves).
 """
 
 from __future__ import annotations
@@ -165,6 +175,16 @@ def default_policy(
                 max_retries=max_retries,
             ),
             PolicyRule(
+                condition="shard-cold",
+                action="merge-shards",
+                max_retries=max_retries,
+            ),
+            PolicyRule(
+                condition="standby-lagging",
+                action="promote-standby",
+                max_retries=max_retries,
+            ),
+            PolicyRule(
                 condition="slo-burning",
                 action="recover-degraded",
                 max_retries=max_retries,
@@ -179,4 +199,28 @@ def default_policy(
     )
 
 
-__all__ = ["PolicyRule", "PolicyTable", "default_policy"]
+def shard_granular_policy(
+    mechanism: Optional[str] = None, max_retries: int = 1
+) -> PolicyTable:
+    """The default policy with shard-granular responses layered on top.
+
+    One override: ``hot-shard`` splits the hot shard in place
+    (``split-shard``) instead of draining the node wholesale — the
+    following save round re-scatters the halves, which disperses the
+    concentration as a side effect. Everything else (including the
+    ``shard-cold``/``standby-lagging`` rows) is inherited from
+    :func:`default_policy`.
+    """
+    return default_policy(mechanism=mechanism, max_retries=max_retries).extend(
+        [
+            PolicyRule(
+                condition="hot-shard",
+                action="split-shard",
+                max_retries=max_retries,
+                escalation="rebalance",
+            ),
+        ]
+    )
+
+
+__all__ = ["PolicyRule", "PolicyTable", "default_policy", "shard_granular_policy"]

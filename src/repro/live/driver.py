@@ -180,6 +180,7 @@ class LoadDriver:
         kill_task: Optional[Tuple[str, int]] = None,
         mechanism: Optional[MechanismImpl] = None,
         bulk_state_mb: float = 0.0,
+        standby: bool = False,
         drain_grace: float = 120.0,
         telemetry=None,
         controller=None,
@@ -211,6 +212,12 @@ class LoadDriver:
         self.kill_at = None if kill_at is None else float(kill_at)
         self.mechanism = mechanism
         self.bulk_state_mb = float(bulk_state_mb)
+        #: Provision a warm standby for the kill target's states after
+        #: every checkpoint barrier (incremental re-warm per barrier).
+        self.standby = bool(standby)
+        self.standby_syncs = 0
+        # state name -> warm image bytes after its latest sync round.
+        self._standby_warm: Dict[str, float] = {}
         self.drain_grace = float(drain_grace)
 
         self.sim = cell.sim
@@ -475,6 +482,61 @@ class LoadDriver:
         if pending["left"] == 0 and self._pending_barrier is pending:
             self._barrier = pending
             self._pending_barrier = None
+            if self.standby and not self._killed:
+                self._provision_standby()
+
+    def _provision_standby(self) -> None:
+        """Warm (or re-warm) a standby for the kill target's states.
+
+        Runs after each checkpoint barrier fully lands, so the standby
+        tracks the newest save round. The sync is incremental — only the
+        segments the standby is missing ride the network (tagged
+        ``standby.sync``, contending with app flows like any transfer) —
+        which *is* the steady-state overhead the standby tier pays.
+        """
+        from repro.recovery.standby import sync_standby
+
+        owner = self.backend.protected_tasks()[self._kill_tid].node
+        standby = self._predict_replacement(owner)
+        if standby is None:
+            return
+        for name in sorted(self.manager.states):
+            registered = self.manager.states[name]
+            if registered.owner.node_id != owner.node_id:
+                continue
+            if registered.plan is None:
+                continue
+            sync = sync_standby(self.manager.ctx, registered, standby)
+            sync.on_done(
+                lambda report, n=name: self._standby_warm.__setitem__(
+                    n, report.warm_bytes
+                )
+            )
+            self.standby_syncs += 1
+
+    @property
+    def standby_warm_bytes(self) -> float:
+        """Total warm image resident on the standby (steady-state memory)."""
+        return float(sum(self._standby_warm.values()))
+
+    def _predict_replacement(self, owner: DhtNode) -> Optional[DhtNode]:
+        """The node that *will* replace ``owner``, computed pre-failure.
+
+        Mirrors :meth:`Overlay.responsible_node`'s closest-node rule with
+        the owner excluded, so the standby lands exactly where recovery
+        will run — takeover then finds every synced segment local.
+        """
+        candidates = [
+            n
+            for n in self.cell.overlay.alive_nodes()
+            if n.node_id != owner.node_id
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda n: (owner.node_id.distance(n.node_id), n.node_id.value),
+        )
 
     # -------------------------------------------------------------- failure
 

@@ -25,6 +25,14 @@ from repro.recovery.save import SaveResult, sr3_save
 from repro.recovery.star import StarRecovery
 from repro.recovery.line import LineRecovery
 from repro.recovery.tree import TreeRecovery
+from repro.recovery.standby import (
+    StandbyRecovery,
+    StandbySyncReport,
+    standby_coverage,
+    standby_node_of,
+    sync_standby,
+)
+from repro.recovery.online import OnlineSelector, ShardDecision, ShardProfile
 from repro.recovery.selection import (
     Mechanism,
     SelectionExplanation,
@@ -46,6 +54,14 @@ __all__ = [
     "StarRecovery",
     "LineRecovery",
     "TreeRecovery",
+    "StandbyRecovery",
+    "StandbySyncReport",
+    "standby_coverage",
+    "standby_node_of",
+    "sync_standby",
+    "OnlineSelector",
+    "ShardDecision",
+    "ShardProfile",
     "Mechanism",
     "SelectionExplanation",
     "SelectionInputs",

@@ -30,12 +30,13 @@ from repro.recovery.selection import (
     SelectionInputs,
     build_mechanism,
 )
+from repro.recovery.standby import StandbyRecovery
 from repro.recovery.star import StarRecovery
 from repro.recovery.tree import TreeRecovery
 from repro.state.placement import LeafSetPlacement, PlacementPlan
 from repro.state.shard import Shard
 
-MechanismImpl = Union[StarRecovery, LineRecovery, TreeRecovery]
+MechanismImpl = Union[StarRecovery, LineRecovery, TreeRecovery, StandbyRecovery]
 
 
 @dataclass

@@ -66,6 +66,17 @@ class CostModel:
     # hit existing buckets and tombstones force lookups, so each delta byte
     # costs ``delta_replay_factor`` base-merge bytes.
     delta_replay_factor: float = 1.2
+    # Hot-standby tier (the StreamShield-style fourth tier): the warm
+    # replica keeps a dedicated heartbeat session with the primary, so it
+    # notices the failure after only a fraction of the DHT-wide detector
+    # delay...
+    standby_detection_factor: float = 0.25
+    # ...and takeover is an ownership flip (routing update + store
+    # promotion, no bulk movement)...
+    standby_flip: float = 0.05
+    # ...plus replay of the delta tail the standby had not folded into its
+    # warm image yet: this fraction of the chain's delta payload.
+    standby_lag_fraction: float = 0.1
     # CPU fraction a node spends while actively merging (Fig. 12a).
     merge_cpu_fraction: float = 0.75
     # CPU fraction spent while sending/receiving a bulk flow.
@@ -94,6 +105,16 @@ class CostModel:
             self.chain_link_setup * num_deltas
             + self.delta_replay_factor * delta_bytes / self.merge_rate
         )
+
+    def standby_takeover_time(self, delta_bytes: float, chain_links: int) -> float:
+        """Post-detection standby takeover: ownership flip + tail replay.
+
+        The warm image already holds the base and every folded delta, so
+        only ``standby_lag_fraction`` of the chain's delta payload (the
+        unfolded tail) replays at the flip.
+        """
+        tail = max(0.0, delta_bytes) * self.standby_lag_fraction
+        return self.standby_flip + self.replay_time(tail, max(0, chain_links - 1))
 
     def lookup_penalty(self, num_replicas: int, surviving: int) -> float:
         """DHT lookup cost to find alternate replicas after shard loss.

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Union
 from repro.errors import SelectionError
 from repro.recovery.line import LineRecovery
 from repro.recovery.model import CostModel
+from repro.recovery.standby import StandbyRecovery
 from repro.recovery.star import StarRecovery
 from repro.recovery.tree import TreeRecovery
 from repro.util.sizes import MB
@@ -34,6 +35,7 @@ class Mechanism(enum.Enum):
     STAR = "star"
     LINE = "line"
     TREE = "tree"
+    STANDBY = "standby"  # hot standby: pre-moved state, flip + tail replay
 
     def __hash__(self) -> int:
         # Value-based, so SelectionResult (which compares equal to both a
@@ -74,6 +76,16 @@ class SelectionInputs:
     # only get the fair share the application leaves behind. 0.0 (the
     # default) is the quiescent network every pre-live prediction assumed.
     background_load: float = 0.0
+    # Hot-standby tier (repro.recovery.standby). ``standby_provisioned``
+    # states have a warm replica already folded on a standby node, so
+    # takeover is an ownership flip plus tail replay; the steady-state
+    # price — sync traffic sharing links with the application, and the
+    # warm image's resident footprint — is surfaced here so selection can
+    # weigh it. Defaults describe the standby-free world every pre-standby
+    # prediction assumed.
+    standby_provisioned: bool = False
+    standby_refresh_bytes_per_s: float = 0.0
+    standby_memory_bytes: float = 0.0
 
     def __post_init__(self) -> None:
         if self.state_bytes < 0:
@@ -91,12 +103,26 @@ class SelectionInputs:
                 "background_load must be a fraction in [0, 1); a fully "
                 "saturated link leaves no bandwidth to predict with"
             )
+        if self.standby_refresh_bytes_per_s < 0:
+            raise SelectionError(
+                "standby_refresh_bytes_per_s must be non-negative"
+            )
+        if self.standby_memory_bytes < 0:
+            raise SelectionError("standby_memory_bytes must be non-negative")
 
 
 def select_mechanism(inputs: SelectionInputs) -> Mechanism:
-    """The decision diagram of Fig. 7, as a pure function."""
+    """The decision diagram of Fig. 7, as a pure function.
+
+    One extension over the paper: a state with a provisioned warm standby
+    short-circuits the diagram — its steady-state cost is already sunk, so
+    the flip-plus-tail-replay takeover dominates every move-after-failure
+    tier. Nothing changes for the default (standby-free) inputs.
+    """
     if not inputs.stateful:
         return Mechanism.NONE
+    if inputs.standby_provisioned:
+        return Mechanism.STANDBY
     if inputs.state_bytes <= inputs.large_state_threshold:
         return Mechanism.STAR
     if not inputs.bandwidth_constrained:
@@ -140,7 +166,7 @@ def recommended_tree_fanout_bits(state_bytes: float, expected_failures: int = 1)
 def build_mechanism(
     inputs: SelectionInputs,
     expected_failures: int = 1,
-) -> Optional[Union[StarRecovery, LineRecovery, TreeRecovery]]:
+) -> Optional[Union[StarRecovery, LineRecovery, TreeRecovery, StandbyRecovery]]:
     """Instantiate the selected mechanism with tuned runtime parameters.
 
     Returns None for stateless operators (nothing to recover).
@@ -148,6 +174,8 @@ def build_mechanism(
     choice = select_mechanism(inputs)
     if choice is Mechanism.NONE:
         return None
+    if choice is Mechanism.STANDBY:
+        return StandbyRecovery()
     if choice is Mechanism.STAR:
         return StarRecovery(fanout_bits=2)
     if choice is Mechanism.LINE:
@@ -207,6 +235,16 @@ def predict_recovery_seconds(
     size = inputs.state_bytes
     if mech is Mechanism.NONE or size <= 0:
         return 0.0
+    if mech is Mechanism.STANDBY:
+        # The state was moved before the failure: a dedicated heartbeat
+        # detects in a fraction of the DHT-wide delay, then the takeover
+        # is an ownership flip plus replay of the unfolded delta tail.
+        # Bandwidth never appears — that is the whole point of the tier.
+        return cost.detection_delay * cost.standby_detection_factor + (
+            cost.standby_takeover_time(
+                min(inputs.delta_bytes, size), max(1, inputs.chain_links)
+            )
+        )
     # Chain-fetch + replay terms: ``size`` covers every fetched segment
     # (base + deltas); the base alone is hash-merged and installed, the
     # delta payload replays on top, and per-segment setup multiplies by
@@ -261,7 +299,8 @@ def predict_recovery_seconds(
 class SelectionExplanation:
     """The heuristic's choice plus predicted vs observed cost per mechanism.
 
-    ``predicted_seconds`` always carries star/line/tree; ``observed_seconds``
+    ``predicted_seconds`` always carries star/line/tree (plus standby when
+    the inputs say one is provisioned); ``observed_seconds``
     fills in as the profiler measures actual recoveries. ``model_error`` is
     the signed relative error — positive means the mechanism ran slower
     than the closed form predicted.
@@ -298,10 +337,51 @@ class SelectionExplanation:
         return {
             "chosen": self.chosen.value,
             "state_bytes": self.inputs.state_bytes,
+            "inputs": {
+                "state_bytes": self.inputs.state_bytes,
+                "stateful": self.inputs.stateful,
+                "latency_sensitive": self.inputs.latency_sensitive,
+                "bandwidth_constrained": self.inputs.bandwidth_constrained,
+                "computation_model": self.inputs.computation_model.value,
+                "large_state_threshold": self.inputs.large_state_threshold,
+                "chain_links": self.inputs.chain_links,
+                "delta_bytes": self.inputs.delta_bytes,
+                "background_load": self.inputs.background_load,
+                "standby_provisioned": self.inputs.standby_provisioned,
+                "standby_refresh_bytes_per_s": self.inputs.standby_refresh_bytes_per_s,
+                "standby_memory_bytes": self.inputs.standby_memory_bytes,
+            },
             "predicted_seconds": dict(sorted(self.predicted_seconds.items())),
             "observed_seconds": dict(sorted(self.observed_seconds.items())),
             "model_error": errors,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SelectionExplanation":
+        """Rebuild an explanation from :meth:`to_dict` output.
+
+        Round-trips exactly (``from_dict(e.to_dict()) == e``), so
+        calibration state survives bench ``--metrics-out`` serialization.
+        Payloads from before the ``inputs`` sub-dict existed (which only
+        carried ``state_bytes``) still load, with defaults elsewhere.
+        """
+        raw = dict(payload.get("inputs") or {})
+        raw.setdefault("state_bytes", payload.get("state_bytes", 0.0))
+        if "computation_model" in raw:
+            raw["computation_model"] = ComputationModel(raw["computation_model"])
+        inputs = SelectionInputs(**raw)
+        return cls(
+            inputs=inputs,
+            chosen=Mechanism(payload["chosen"]),
+            predicted_seconds={
+                str(k): float(v)
+                for k, v in dict(payload.get("predicted_seconds") or {}).items()
+            },
+            observed_seconds={
+                str(k): float(v)
+                for k, v in dict(payload.get("observed_seconds") or {}).items()
+            },
+        )
 
 
 def explain_selection(
@@ -309,12 +389,20 @@ def explain_selection(
     cost_model: Optional[CostModel] = None,
     bandwidth: Optional[float] = None,
 ) -> SelectionExplanation:
-    """Run the heuristic and predict every mechanism's cost for comparison."""
+    """Run the heuristic and predict every mechanism's cost for comparison.
+
+    The standby tier only appears among the predictions when the inputs
+    say a standby is provisioned — predicting a flip-takeover that has no
+    warm image to flip to would just be noise.
+    """
+    tiers = [Mechanism.STAR, Mechanism.LINE, Mechanism.TREE]
+    if inputs.standby_provisioned:
+        tiers.append(Mechanism.STANDBY)
     return SelectionExplanation(
         inputs=inputs,
         chosen=select_mechanism(inputs),
         predicted_seconds={
             mech.value: predict_recovery_seconds(mech, inputs, cost_model, bandwidth)
-            for mech in (Mechanism.STAR, Mechanism.LINE, Mechanism.TREE)
+            for mech in tiers
         },
     )

@@ -1,0 +1,573 @@
+"""Hot-standby recovery: the fourth tier of the spectrum.
+
+Star/line/tree move the state *after* the failure; the hot-standby tier
+moves it *before*. A designated standby node keeps a warm image of every
+segment (base shards plus the folded delta chain), continuously refreshed
+by :func:`sync_standby` after each save round. Takeover is then an
+ownership flip plus replay of the delta tail the standby had not folded
+yet — no bulk movement on the critical path, so the makespan is dominated
+by detection (a dedicated primary↔standby heartbeat, faster than the
+DHT-wide detector) rather than transfer.
+
+The price is steady-state cost: the sync traffic shares links with the
+application (shuffle bandwidth) and the warm image occupies memory on the
+standby for as long as it stands by. Both are surfaced through
+``SelectionInputs.standby_refresh_bytes_per_s`` / ``standby_memory_bytes``
+so the selection layer can weigh them.
+
+Degradation is graceful: segments the promoted node does not hold locally
+(a lagging sync, or the overlay picked a different replacement than the
+provisioned standby) are fetched star-style from surviving providers with
+the usual retry/backoff machinery, so a "cold" standby recovery is still
+correct — just no longer O(flip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.dht.node import DhtNode
+from repro.errors import InsufficientShardsError, RecoveryError
+from repro.recovery.model import (
+    RecoveryContext,
+    RecoveryHandle,
+    RecoveryResult,
+    RetryPolicy,
+    replacement_died,
+)
+from repro.state.placement import PlacedShard, PlacementPlan
+from repro.state.shard import Shard, ShardReplica
+
+# Tag carried by standby sync flows so network telemetry (and tests) can
+# tell steady-state provisioning traffic from recovery and app traffic.
+STANDBY_TAG = "standby.sync"
+
+
+class StandbyReplica(ShardReplica):
+    """A warm copy held by the standby, outside the normal replica set."""
+
+    standby = True
+
+    def __init__(self, shard: Shard, num_replicas: int) -> None:
+        # Slot index ``num_replicas`` in an (n+1)-wide set: distinct key
+        # from every regular replica, so the standby copy coexists with a
+        # regular replica of the same segment on the same node.
+        super().__init__(shard, num_replicas, num_replicas + 1)
+
+
+def _flat_plans(registered) -> List[PlacementPlan]:
+    """The flat placement plans behind a registered state, base first."""
+    chain = getattr(registered, "chain", None)
+    if chain is not None and chain.links:
+        return [link.plan for link in chain.links]
+    if registered.plan is None:
+        return []
+    return [registered.plan]
+
+
+def _holds_warm(plan: PlacementPlan, index: int, node: DhtNode) -> bool:
+    """Does ``node`` hold a live warm copy of segment ``index``?"""
+    if not node.alive:
+        return False
+    for placed in plan.for_shard(index):
+        if (
+            getattr(placed.replica, "standby", False)
+            and placed.node.node_id == node.node_id
+            and node.get_shard(placed.replica.key) is not None
+        ):
+            return True
+    return False
+
+
+def standby_node_of(registered) -> Optional[DhtNode]:
+    """The node acting as warm standby for a state, if one is provisioned.
+
+    The node holding the most live standby-flagged segment copies wins;
+    ties break by name for determinism. ``None`` when nothing is warm.
+    """
+    held: Dict[str, Tuple[int, DhtNode]] = {}
+    for plan in _flat_plans(registered):
+        for placed in plan.placements:
+            if not getattr(placed.replica, "standby", False):
+                continue
+            node = placed.node
+            if not node.alive or node.get_shard(placed.replica.key) is None:
+                continue
+            count, _ = held.get(node.name, (0, node))
+            held[node.name] = (count + 1, node)
+    if not held:
+        return None
+    name = max(held, key=lambda n: (held[n][0], n))
+    return held[name][1]
+
+
+def standby_coverage(registered, node: DhtNode) -> Tuple[int, int]:
+    """(segments warm on ``node``, total segments) for one state."""
+    covered = 0
+    total = 0
+    for plan in _flat_plans(registered):
+        for index in plan.shard_indexes():
+            total += 1
+            if _holds_warm(plan, index, node):
+                covered += 1
+    return covered, total
+
+
+@dataclass
+class StandbySyncReport:
+    """Outcome of one provisioning round."""
+
+    state_name: str
+    standby: str
+    warm_segments: int  # already held before this round
+    copied_segments: int  # shipped by this round
+    missed_segments: int  # no surviving provider (or transfer aborted)
+    copied_bytes: float
+    warm_bytes: float  # resident warm image after the round
+
+    @property
+    def total_segments(self) -> int:
+        return self.warm_segments + self.copied_segments + self.missed_segments
+
+
+class StandbySync:
+    """A provisioning round in flight; resolves to a report."""
+
+    def __init__(self, state_name: str, standby: str) -> None:
+        self.state_name = state_name
+        self.standby = standby
+        self._report: Optional[StandbySyncReport] = None
+        self._callbacks: List[Callable[[StandbySyncReport], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._report is not None
+
+    @property
+    def report(self) -> StandbySyncReport:
+        if self._report is None:
+            raise RecoveryError(
+                f"standby sync of {self.state_name!r} has not finished"
+            )
+        return self._report
+
+    def on_done(self, callback: Callable[[StandbySyncReport], None]) -> None:
+        if self._report is not None:
+            callback(self._report)
+        else:
+            self._callbacks.append(callback)
+
+    def _resolve(self, report: StandbySyncReport) -> None:
+        self._report = report
+        for callback in self._callbacks:
+            callback(report)
+
+
+def sync_standby(
+    ctx: RecoveryContext,
+    registered,
+    standby: DhtNode,
+    parent_span=None,
+) -> StandbySync:
+    """Warm (or re-warm) ``standby`` with every segment it is missing.
+
+    Idempotent and incremental: segments already resident are skipped, so
+    calling after every save round ships only the new delta links. Copies
+    ride ordinary network flows tagged :data:`STANDBY_TAG` — they contend
+    with application traffic, which is exactly the steady-state bandwidth
+    cost the selection layer wants surfaced. Segments with no surviving
+    provider are counted as missed, never fatal: the takeover path can
+    still fetch them later if a replica resurfaces.
+    """
+    sim = ctx.sim
+    name = registered.state_name
+    handle = StandbySync(name, standby.name)
+    span = sim.tracer.start(
+        "standby/sync",
+        category="standby.sync",
+        parent=parent_span,
+        state=name,
+        standby=standby.name,
+    )
+    warm_segments = 0
+    warm_bytes = 0.0
+    missed = {"count": 0}
+    todo: List[Tuple[PlacementPlan, PlacedShard]] = []
+    for plan in _flat_plans(registered):
+        for index in plan.shard_indexes():
+            if _holds_warm(plan, index, standby):
+                warm_segments += 1
+                warm_bytes += plan.for_shard(index)[0].replica.size_bytes
+                continue
+            providers = [
+                p
+                for p in plan.providers_for(index)
+                if p.node.node_id != standby.node_id
+                and ctx.network.reachable(p.node.host, standby.host)
+            ]
+            if not providers:
+                missed["count"] += 1
+                continue
+            todo.append((plan, providers[0]))
+
+    progress = {"pending": len(todo), "copied": 0, "bytes": 0.0}
+    started_at = sim.now
+
+    def finish() -> None:
+        resident = warm_bytes + progress["bytes"]
+        sim.metrics.gauge("standby.warm_bytes").set(resident)
+        # The warm image occupies the standby's memory from the moment it
+        # lands — charged over the sync round so the resource profiles see
+        # the steady-state footprint.
+        ctx.charge_memory(
+            standby, started_at, max(sim.now - started_at, 1e-9), resident
+        )
+        span.finish(
+            warm=warm_segments,
+            copied=progress["copied"],
+            missed=missed["count"],
+            bytes=progress["bytes"],
+        )
+        handle._resolve(
+            StandbySyncReport(
+                state_name=name,
+                standby=standby.name,
+                warm_segments=warm_segments,
+                copied_segments=progress["copied"],
+                missed_segments=missed["count"],
+                copied_bytes=progress["bytes"],
+                warm_bytes=resident,
+            )
+        )
+
+    if not todo:
+        finish()
+        return handle
+
+    def landed(plan: PlacementPlan, placed: PlacedShard) -> None:
+        if not standby.alive:
+            aborted()
+            return
+        replica = StandbyReplica(placed.replica.shard, placed.replica.num_replicas)
+        standby.store_shard(replica.key, replica)
+        plan.placements.append(PlacedShard(replica, standby))
+        progress["copied"] += 1
+        progress["bytes"] += replica.size_bytes
+        sim.metrics.counter("standby.sync_bytes").add(replica.size_bytes)
+        progress["pending"] -= 1
+        if progress["pending"] == 0:
+            finish()
+
+    def aborted() -> None:
+        missed["count"] += 1
+        progress["pending"] -= 1
+        if progress["pending"] == 0:
+            finish()
+
+    for plan, placed in todo:
+        ctx.network.transfer(
+            placed.node.host,
+            standby.host,
+            placed.replica.size_bytes,
+            on_complete=lambda flow, p=plan, pl=placed: landed(p, pl),
+            on_abort=lambda flow: aborted(),
+            tag=STANDBY_TAG,
+            parent_span=span,
+        )
+    return handle
+
+
+class StandbyRecovery:
+    """Ownership-flip takeover onto a warm standby."""
+
+    name = "standby"
+
+    def __init__(
+        self,
+        fetch_window: int = 4,
+        retry_policy: RetryPolicy = RetryPolicy(),
+    ) -> None:
+        if fetch_window < 1:
+            raise ValueError("fetch_window must be positive")
+        self.fetch_window = fetch_window
+        self.retry_policy = retry_policy
+
+    def start(
+        self,
+        ctx: RecoveryContext,
+        plan: PlacementPlan,
+        replacement: DhtNode,
+        state_name: Optional[str] = None,
+        parent_span=None,
+    ) -> RecoveryHandle:
+        """Promote ``replacement``: flip ownership, replay the tail.
+
+        Segments already resident on ``replacement`` (its warm image, or a
+        regular replica it happens to hold) cost nothing to move; missing
+        segments are fetched star-style from surviving providers first.
+        """
+        sim = ctx.sim
+        cost = ctx.cost_model
+        name = state_name or self._state_name_of(plan)
+        handle = RecoveryHandle(self.name, name)
+        started_at = sim.now
+        tracer = sim.tracer
+        root_span = tracer.start(
+            "recovery/standby",
+            category="recovery",
+            parent=parent_span,
+            state=name,
+            replacement=replacement.name,
+        )
+
+        warm_segments = 0
+        cold: List[Dict] = []
+        used_nodes: Set[object] = set()
+        involved: Set[str] = {replacement.name}
+        total_bytes = 0.0
+        for index in plan.shard_indexes():
+            providers = plan.providers_for(index)
+            if not providers:
+                root_span.finish(error="insufficient_shards", shard=index)
+                handle._fail(
+                    InsufficientShardsError(
+                        f"{name}: no surviving replica of shard {index}"
+                    )
+                )
+                return handle
+            local = [
+                p for p in providers if p.node.node_id == replacement.node_id
+            ]
+            total_bytes += float(providers[0].replica.size_bytes)
+            if local:
+                warm_segments += 1
+                continue
+            fresh = [p for p in providers if p.node.node_id not in used_nodes]
+            chosen: PlacedShard = (fresh or providers)[0]
+            used_nodes.add(chosen.node.node_id)
+            involved.add(chosen.node.name)
+            cold.append({"index": index, "placed": chosen})
+
+        chain_len = int(getattr(plan, "chain_length", 1))
+        delta_bytes = float(getattr(plan, "delta_bytes", 0.0))
+        num_segments = warm_segments + len(cold)
+        root_span.annotate(
+            state_bytes=total_bytes,
+            shards=num_segments,
+            warm_segments=warm_segments,
+            cold_segments=len(cold),
+            chain_len=chain_len,
+            delta_bytes=delta_bytes,
+        )
+        progress = {"next": 0, "arrived": 0, "bytes": 0.0}
+        policy = self.retry_policy
+
+        def fetch_next() -> None:
+            if progress["next"] >= len(cold):
+                return
+            assignment = cold[progress["next"]]
+            progress["next"] += 1
+            start_fetch(assignment)
+
+        def start_fetch(assignment: Dict) -> None:
+            if handle.done:
+                return
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
+            placed: PlacedShard = assignment["placed"]
+            if not ctx.network.reachable(placed.node.host, replacement.host):
+                retry(assignment)
+                return
+            size = placed.replica.size_bytes
+            involved.add(placed.node.name)
+            fetch_span = root_span.child(
+                f"fetch cold segment {assignment['index']} from {placed.node.name}",
+                category="recovery.transfer",
+                bytes=float(size),
+                shard=assignment["index"],
+                provider=placed.node.name,
+                attempt=assignment.get("retries", 0),
+            )
+            ctx.network.transfer(
+                placed.node.host,
+                replacement.host,
+                size,
+                on_complete=lambda flow: arrived(assignment, fetch_span),
+                on_abort=lambda flow: fetch_failed(assignment, fetch_span),
+                parent_span=fetch_span,
+            )
+
+        def arrived(assignment: Dict, fetch_span) -> None:
+            if handle.done:
+                return
+            fetch_span.finish()
+            progress["bytes"] += assignment["placed"].replica.size_bytes
+            progress["arrived"] += 1
+            if progress["arrived"] == len(cold):
+                takeover()
+            else:
+                fetch_next()
+
+        def fetch_failed(assignment: Dict, fetch_span) -> None:
+            fetch_span.finish(aborted=True)
+            if handle.done:
+                return
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
+            retry(assignment)
+
+        def retry(assignment: Dict) -> None:
+            index = assignment["index"]
+            attempt = assignment.get("retries", 0)
+            if attempt >= policy.max_retries:
+                fail(
+                    InsufficientShardsError(
+                        f"{name}: cold segment {index} could not be fetched "
+                        f"after {attempt} retries (providers kept dying or "
+                        f"stayed unreachable)"
+                    )
+                )
+                return
+            assignment["retries"] = attempt + 1
+            sim.metrics.counter("recovery.retries").add(1, label=self.name)
+            tracer.instant(
+                f"retry shard {index}",
+                category="recovery.retry",
+                shard=index,
+                attempt=attempt + 1,
+            )
+            sim.schedule(policy.delay(attempt), reassign, assignment)
+
+        def reassign(assignment: Dict) -> None:
+            if handle.done:
+                return
+            index = assignment["index"]
+            providers = plan.providers_for(index)
+            if not providers:
+                fail(
+                    InsufficientShardsError(
+                        f"{name}: every replica of shard {index} was lost "
+                        f"during recovery"
+                    )
+                )
+                return
+            usable = [
+                p
+                for p in providers
+                if ctx.network.reachable(p.node.host, replacement.host)
+            ]
+            if not usable:
+                retry(assignment)
+                return
+            assignment["placed"] = usable[0]
+            start_fetch(assignment)
+
+        def fail(error: Exception) -> None:
+            if handle.done:
+                return
+            root_span.finish(error=str(error))
+            sim.metrics.counter("recovery.failed").add(1, label=self.name)
+            handle._fail(error)
+
+        def takeover() -> None:
+            # The flip itself: routing update + store promotion. The warm
+            # image is already merged and installed, so the only CPU on
+            # the critical path is the unfolded delta tail plus folding
+            # whatever cold segments had to be fetched.
+            if not replacement.alive:
+                fail(replacement_died(self.name, name, replacement))
+                return
+            flip = cost.standby_flip
+            tail_bytes = delta_bytes * cost.standby_lag_fraction
+            replay = cost.replay_time(tail_bytes, chain_len - 1)
+            cold_bytes = progress["bytes"]
+            fold = cost.merge_time(cold_bytes) + cost.install_time(cold_bytes)
+            tracer.record(
+                "flip ownership",
+                sim.now,
+                sim.now + flip,
+                category="recovery.flip",
+                parent=root_span,
+                node=replacement.name,
+            )
+            if replay > 0:
+                tracer.record(
+                    "replay tail",
+                    sim.now + flip,
+                    sim.now + flip + replay,
+                    category="recovery.replay",
+                    parent=root_span,
+                    bytes=tail_bytes,
+                    links=chain_len - 1,
+                    node=replacement.name,
+                )
+            if fold > 0:
+                tracer.record(
+                    "fold cold segments",
+                    sim.now + flip + replay,
+                    sim.now + flip + replay + fold,
+                    category="recovery.merge",
+                    parent=root_span,
+                    bytes=cold_bytes,
+                    node=replacement.name,
+                )
+            busy = flip + replay + fold
+            ctx.charge_cpu(replacement, sim.now, busy, cost.merge_cpu_fraction)
+            ctx.charge_memory(
+                replacement,
+                sim.now,
+                busy,
+                (cold_bytes + tail_bytes) * cost.buffer_memory_factor,
+            )
+            sim.schedule(busy, finish)
+
+        def finish() -> None:
+            if handle.done:
+                return
+            root_span.finish(bytes=progress["bytes"])
+            sim.metrics.counter("recovery.completed").add(1, label=self.name)
+            sim.metrics.histogram("recovery.duration").observe(sim.now - started_at)
+            handle._resolve(
+                RecoveryResult(
+                    mechanism=self.name,
+                    state_name=name,
+                    state_bytes=total_bytes,
+                    started_at=started_at,
+                    finished_at=sim.now,
+                    bytes_transferred=progress["bytes"],
+                    nodes_involved=len(involved),
+                    shards_recovered=num_segments,
+                    replacement=replacement.name,
+                    detail={
+                        "warm_segments": float(warm_segments),
+                        "cold_segments": float(len(cold)),
+                        "flip_s": float(cost.standby_flip),
+                    },
+                )
+            )
+
+        def launch() -> None:
+            detect_span.finish()
+            if not cold:
+                takeover()
+                return
+            for _ in range(min(self.fetch_window, len(cold))):
+                fetch_next()
+
+        # The dedicated primary↔standby heartbeat notices the failure in a
+        # fraction of the DHT-wide detection delay.
+        detection = cost.detection_delay * cost.standby_detection_factor
+        detect_span = root_span.child(
+            "detect", category="recovery.detect", delay=detection
+        )
+        sim.schedule(detection, launch)
+        return handle
+
+    @staticmethod
+    def _state_name_of(plan: PlacementPlan) -> str:
+        if not plan.placements:
+            raise InsufficientShardsError("empty placement plan")
+        return plan.placements[0].replica.shard.state_name

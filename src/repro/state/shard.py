@@ -285,6 +285,11 @@ class SubShard:
 class ShardReplica:
     """One stored copy of a shard on a peer node."""
 
+    # Warm-standby copies (``repro.recovery.standby``) are flagged so
+    # diagnosis/rebalancing treat them as deliberate concentration rather
+    # than load skew to disperse.
+    standby = False
+
     def __init__(self, shard: Shard, replica_index: int, num_replicas: int) -> None:
         if not 0 <= replica_index < num_replicas:
             raise ShardError(

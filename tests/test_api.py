@@ -132,7 +132,7 @@ class TestSaveRecover:
 class TestDefines:
     def test_star_define_pins_mechanism(self, sr3):
         owner, _ = protect_dict(sr3)
-        sr3.star_define("app/state", star_fanout=3)
+        sr3.define("app/state", "star", star_fanout=3)
         sr3.overlay.fail_node(owner)
         _, result = sr3.recover("app/state")
         assert result.mechanism == "star"
@@ -140,14 +140,14 @@ class TestDefines:
 
     def test_line_define_pins_mechanism(self, sr3):
         owner, _ = protect_dict(sr3, shards=8)
-        sr3.line_define("app/state", length_of_path=4)
+        sr3.define("app/state", "line", length_of_path=4)
         sr3.overlay.fail_node(owner)
         _, result = sr3.recover("app/state")
         assert result.mechanism == "line"
 
     def test_tree_define_pins_mechanism(self, sr3):
         owner, _ = protect_dict(sr3, shards=4)
-        sr3.tree_define("app/state", fanout=2)
+        sr3.define("app/state", "tree", fanout=2)
         sr3.overlay.fail_node(owner)
         _, result = sr3.recover("app/state")
         assert result.mechanism == "tree"
@@ -156,7 +156,7 @@ class TestDefines:
         from repro.recovery.star import StarRecovery
 
         owner, _ = protect_dict(sr3)
-        sr3.line_define("app/state")
+        sr3.define("app/state", "line")
         sr3.overlay.fail_node(owner)
         _, result = sr3.recover("app/state", mechanism=StarRecovery())
         assert result.mechanism == "star"
