@@ -14,6 +14,8 @@ Runs the full SR3 pipeline on a 64-node simulated overlay:
 Usage: python examples/quickstart.py
 """
 
+import os
+
 from repro import SR3
 from repro.obs import Tracer
 
@@ -54,8 +56,10 @@ def main() -> None:
     )
 
     # Every save and recovery above produced hierarchical spans on the
-    # simulation's virtual clock; dump them for chrome://tracing.
-    path = sr3.export_trace("quickstart-trace.json")
+    # simulation's virtual clock; dump them for chrome://tracing. Artifacts
+    # land under out/ (ignored by git) so they never drift at the repo root.
+    os.makedirs("out", exist_ok=True)
+    path = sr3.export_trace(os.path.join("out", "quickstart-trace.json"))
     spans = len(sr3.tracer.spans)
     print(f"wrote {spans} spans to {path}")
 

@@ -50,8 +50,12 @@ def main() -> None:
             if error is not None:
                 print(f"  selection model error: {error:+.1%}")
 
-    flame = os.path.join(os.getcwd(), "recovery_profile.folded")
-    scope = os.path.join(os.getcwd(), "recovery_profile.speedscope.json")
+    # Artifacts land under out/ (ignored by git) so they never drift at
+    # the repo root.
+    out_dir = os.path.join(os.getcwd(), "out")
+    os.makedirs(out_dir, exist_ok=True)
+    flame = os.path.join(out_dir, "recovery_profile.folded")
+    scope = os.path.join(out_dir, "recovery_profile.speedscope.json")
     write_flamegraph(flame, tracers)
     write_speedscope(scope, tracers)
     print(f"\nwrote {flame}")

@@ -20,7 +20,10 @@ self-contained HTML dashboard (sparklines, SLO status, alert timeline).
 
 The observability flags (``--trace``, ``--metrics-out``, ``--profile``,
 ``--flamegraph``, ``--speedscope``) work uniformly across ``run``,
-``campaign``, and ``control``.
+``campaign``, and ``control``. ``--jobs N`` on ``run`` and ``campaign``
+fans independent sweep cells (scale cells, campaign scenario × mechanism
+cells) across worker processes; reports and artifacts are merged in cell
+order, byte-identical to ``--jobs 1`` (see :mod:`repro.bench.parallel`).
 
 The pre-subcommand flag style (``python -m repro.bench fig8a``,
 ``--campaign smoke``, ``--list``) still works but is deprecated; a note on
@@ -51,9 +54,23 @@ def _fig11(args) -> object:
     return exp.fig11_load_balance(args.apps, num_nodes=args.nodes, seed=args.seed)
 
 
+#: Scale sizes with committed ``scale/{n}/*`` baseline keys; any other
+#: ``--scale-nodes`` value runs fine but has nothing to gate against.
+SCALE_BASELINE_NODES = (512, 1024, 2048, 5000, 20000, 50000)
+
+
 def _scale(args) -> object:
-    counts = tuple(args.scale_nodes) if args.scale_nodes else (512, 1024, 2048, 5000)
-    return exp.scale_overlay(node_counts=counts, seed=args.seed)
+    counts = tuple(args.scale_nodes) if args.scale_nodes else SCALE_BASELINE_NODES
+    for num_nodes in counts:
+        if num_nodes not in SCALE_BASELINE_NODES:
+            print(
+                f"note: scale/{num_nodes}/* results are informational, "
+                "no baseline key",
+                file=sys.stderr,
+            )
+    return exp.scale_overlay(
+        node_counts=counts, seed=args.seed, jobs=getattr(args, "jobs", 1)
+    )
 
 
 def _live(args) -> object:
@@ -129,7 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="N",
         help="overlay size(s) for the scale experiment (repeatable; "
-        "default: 512 1024 2048 5000)",
+        "default: 512 1024 2048 5000 20000 50000)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent sweep cells (the scale experiment, chaos "
+        "campaigns) across N worker processes; output stays "
+        "byte-identical to --jobs 1 (default: 1)",
     )
     parser.add_argument(
         "--live-duration",
@@ -272,8 +298,14 @@ def run_campaign_cli(args) -> int:
     from repro.errors import SimulationError
 
     controller = getattr(args, "controller", False)
+    jobs = getattr(args, "jobs", 1) or 1
     try:
-        report = run_campaign(args.campaign, controller=controller)
+        if jobs > 1:
+            from repro.bench.parallel import run_campaign_parallel
+
+            report = run_campaign_parallel(args.campaign, jobs, controller=controller)
+        else:
+            report = run_campaign(args.campaign, controller=controller)
     except SimulationError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -570,12 +602,21 @@ def _dispatch_subcommand(argv) -> int:
             metavar="PATH",
             help="resilience report path (default: resilience-<NAME>.json)",
         )
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="fan campaign cells across N worker processes; the report "
+            "is byte-identical to --jobs 1 (default: 1)",
+        )
         _add_observability_flags(parser)
         args = parser.parse_args(rest)
         campaign_args = _argparse.Namespace(
             campaign=args.name,
             campaign_out=args.out,
             controller=args.controller,
+            jobs=args.jobs,
         )
         return _with_observability(args, lambda: run_campaign_cli(campaign_args))
     if command == "dashboard":

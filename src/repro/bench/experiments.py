@@ -9,7 +9,7 @@ in seconds while ``scripts``-level runs regenerate the full figures.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.bench.harness import (
     ExperimentResult,
@@ -976,81 +976,123 @@ def saveamp_wordcount(
 # ----------------------------------------------------------------- paper scale
 
 
-def scale_overlay(
-    node_counts: Sequence[int] = (512, 1024, 2048, 5000),
-    state_mb: int = 16,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Paper-scale recovery: 512 to 5,000 emulated nodes (Sec. 5.1).
+def _scale_cell(
+    num_nodes: int, mech_name: str, state_mb: int, seed: int
+) -> Tuple[Dict[str, object], Dict[str, float]]:
+    """One scale cell: build the overlay, fail every owner, recover.
 
-    Each cell builds a fresh overlay of ``n`` nodes on 1 Gb/s links,
-    registers ``max(4, n/16)`` applications with 16 MB of state each
-    (4 shards, replication 3), saves everything, fails every owner at one
-    instant, and recovers all states with one mechanism. Alongside the
-    simulated makespan — which is deterministic and feeds the
-    ``scale/{n}/{mechanism}`` perf-baseline keys — the cell records how
-    long the host took to simulate it (``wall_s``) and the event-loop
-    throughput (``events_per_s``). The wall-clock numbers are what the
-    incremental allocator and kernel fast paths exist for; they are kept
-    out of the regression gate because shared runners make them noisy.
+    Top level and driven by plain scalars so the parallel sweep runner
+    (:mod:`repro.bench.parallel`) can ship cells to spawn-fresh worker
+    processes; the cell re-derives everything else deterministically from
+    its ``(num_nodes, mechanism)`` key and the seed. Returns the result
+    row and the cell's baseline-metric entries.
     """
     import time
 
+    mechanism = _mechanisms(state_mb * MB)[mech_name]
+    apps = max(4, num_nodes // 16)
+    wall_start = time.perf_counter()
+    scenario = build_scenario(
+        num_nodes=num_nodes,
+        seed=seed,
+        uplink_mbit=1000.0,
+        downlink_mbit=1000.0,
+        placement="hash",
+        trace_name=f"scale-{num_nodes}-{mech_name}",
+    )
+    owners = scenario.overlay.nodes[:apps]
+    # The failure wave takes out every owner (n/16 of the ring) at
+    # one instant. With hash placement a shard keeps replication
+    # independent copies at ring-random nodes, so the chance a
+    # shard loses all of them grows with the shard count; at 20k+
+    # nodes 3 copies are no longer enough for the wave to be
+    # survivable, so the large cells replicate deeper (the
+    # smaller, historically gated cells keep replication 3).
+    replication = 3 if num_nodes < 20000 else 5
+    for i, owner in enumerate(owners):
+        shards = partition_synthetic(
+            f"app-{i}/state", state_mb * MB, 4, StateVersion(0.0, 1)
+        )
+        scenario.manager.register(owner, shards, replication)
+    scenario.manager.save_all()
+    scenario.sim.run_until_idle()
+    started = scenario.sim.now
+    for owner in owners:
+        scenario.overlay.fail_node(owner)
+    handles = []
+    for i, owner in enumerate(owners):
+        registered = scenario.manager.states[f"app-{i}/state"]
+        replacement = scenario.overlay.replacement_for(owner)
+        handles.append(
+            mechanism.start(
+                scenario.ctx, registered.plan, replacement, f"app-{i}/state"
+            )
+        )
+    results = run_handles(scenario.sim, handles)
+    wall_s = time.perf_counter() - wall_start
+    makespan = max(r.finished_at for r in results) - started
+    events_per_s = scenario.sim.events_processed / wall_s if wall_s > 0 else 0.0
+    row: Dict[str, object] = dict(
+        nodes=num_nodes,
+        mechanism=mech_name,
+        apps=apps,
+        makespan_s=makespan,
+        wall_s=round(wall_s, 2),
+        events_per_s=round(events_per_s),
+    )
+    extras = {
+        f"scale/{num_nodes}/{mech_name}": makespan,
+        f"scale/{num_nodes}/{mech_name}/wall_s": round(wall_s, 2),
+        f"scale/{num_nodes}/{mech_name}/events_per_s": float(round(events_per_s)),
+    }
+    return row, extras
+
+
+def scale_overlay(
+    node_counts: Sequence[int] = (512, 1024, 2048, 5000, 20000, 50000),
+    state_mb: int = 16,
+    seed: int = 0,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """Paper-scale recovery: 512 to 50,000 emulated nodes (Sec. 5.1).
+
+    Each cell builds a fresh overlay of ``n`` nodes on 1 Gb/s links,
+    registers ``max(4, n/16)`` applications with 16 MB of state each
+    (4 shards, replication 3 — 5 at 20k+ nodes), saves everything, fails
+    every owner at one instant, and recovers all states with one
+    mechanism. Alongside the simulated makespan — which is deterministic
+    and feeds the ``scale/{n}/{mechanism}`` perf-baseline keys — the cell
+    records how long the host took to simulate it (``wall_s``) and the
+    event-loop throughput (``events_per_s``). The wall-clock numbers are
+    what the incremental allocator and kernel fast paths exist for; they
+    are kept out of the regression gate because shared runners make them
+    noisy.
+
+    With ``jobs > 1`` the independent cells fan out across worker
+    processes (:mod:`repro.bench.parallel`); rows, baseline keys, and any
+    collected observability artifacts merge back in sweep order, so the
+    output is byte-identical to the in-process sweep.
+    """
     result = ExperimentResult(
         "scale",
         "Recovery at paper-scale overlay sizes (wall-clock + simulated)",
         columns=["nodes", "mechanism", "apps", "makespan_s", "wall_s", "events_per_s"],
     )
+    cells = [
+        (num_nodes, mech_name, state_mb, seed)
+        for num_nodes in node_counts
+        for mech_name in _mechanisms(state_mb * MB)
+    ]
+    if jobs and jobs > 1:
+        from repro.bench.parallel import run_scale_cells
+
+        outputs = run_scale_cells(cells, jobs)
+    else:
+        outputs = [_scale_cell(*cell) for cell in cells]
     extras: Dict[str, float] = {}
-    for num_nodes in node_counts:
-        apps = max(4, num_nodes // 16)
-        for mech_name, mechanism in _mechanisms(state_mb * MB).items():
-            wall_start = time.perf_counter()
-            scenario = build_scenario(
-                num_nodes=num_nodes,
-                seed=seed,
-                uplink_mbit=1000.0,
-                downlink_mbit=1000.0,
-                placement="hash",
-                trace_name=f"scale-{num_nodes}-{mech_name}",
-            )
-            owners = scenario.overlay.nodes[:apps]
-            for i, owner in enumerate(owners):
-                shards = partition_synthetic(
-                    f"app-{i}/state", state_mb * MB, 4, StateVersion(0.0, 1)
-                )
-                scenario.manager.register(owner, shards, 3)
-            scenario.manager.save_all()
-            scenario.sim.run_until_idle()
-            started = scenario.sim.now
-            for owner in owners:
-                scenario.overlay.fail_node(owner)
-            handles = []
-            for i, owner in enumerate(owners):
-                registered = scenario.manager.states[f"app-{i}/state"]
-                replacement = scenario.overlay.replacement_for(owner)
-                handles.append(
-                    mechanism.start(
-                        scenario.ctx, registered.plan, replacement, f"app-{i}/state"
-                    )
-                )
-            results = run_handles(scenario.sim, handles)
-            wall_s = time.perf_counter() - wall_start
-            makespan = max(r.finished_at for r in results) - started
-            events_per_s = scenario.sim.events_processed / wall_s if wall_s > 0 else 0.0
-            result.add_row(
-                nodes=num_nodes,
-                mechanism=mech_name,
-                apps=apps,
-                makespan_s=makespan,
-                wall_s=round(wall_s, 2),
-                events_per_s=round(events_per_s),
-            )
-            extras[f"scale/{num_nodes}/{mech_name}"] = makespan
-            extras[f"scale/{num_nodes}/{mech_name}/wall_s"] = round(wall_s, 2)
-            extras[f"scale/{num_nodes}/{mech_name}/events_per_s"] = float(
-                round(events_per_s)
-            )
+    for row, cell_extras in outputs:
+        result.add_row(**row)
+        extras.update(cell_extras)
     result.extra["baseline_metrics"] = extras
     result.notes = (
         "simulated makespans are deterministic per seed and gate the "

@@ -8,7 +8,7 @@ a leaf set of 24 (Sec. 5.1).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, TYPE_CHECKING
+from typing import Callable, Iterable, List, Optional, TYPE_CHECKING
 
 from repro.util.ids import NodeId
 
@@ -29,6 +29,11 @@ class LeafSet:
         # Member id values for O(1) `contains` — the overlay's repair scan
         # asks every node whether it held the failed one.
         self._ids: set = set()
+        # Observer called with (added_id_values, removed_id_values) on any
+        # membership change. The overlay uses it to maintain a reverse
+        # index (id -> holding nodes) so a crash repairs only the actual
+        # holders instead of scanning all N nodes.
+        self.on_membership_change: Optional[Callable[[Iterable[int], Iterable[int]], None]] = None
 
     @property
     def half(self) -> int:
@@ -51,18 +56,45 @@ class LeafSet:
         alive = [n for n in nodes if n.alive and n.node_id != self.owner_id]
         by_cw = sorted(alive, key=lambda n: self.owner_id.clockwise_distance(n.node_id))
         by_ccw = sorted(alive, key=lambda n: n.node_id.clockwise_distance(self.owner_id))
-        self._clockwise = by_cw[: self.half]
-        self._counter = by_ccw[: self.half]
-        self._ids = {n.node_id.value for n in self._clockwise}
-        self._ids.update(n.node_id.value for n in self._counter)
+        self._set_members(by_cw[: self.half], by_ccw[: self.half])
+
+    def seed(self, clockwise: List["DhtNode"], counter: List["DhtNode"]) -> None:
+        """Install both halves directly, nearest-first.
+
+        Omniscient wiring: the overlay already walked the sorted ring, so
+        the per-node distance re-sorts of :meth:`rebuild` are redundant.
+        Callers guarantee the lists are what ``rebuild`` would select.
+        """
+        self._set_members(list(clockwise), list(counter))
+
+    def _set_members(self, clockwise: List["DhtNode"], counter: List["DhtNode"]) -> None:
+        new_ids = {n.node_id.value for n in clockwise}
+        new_ids.update(n.node_id.value for n in counter)
+        old_ids = self._ids
+        self._clockwise = clockwise
+        self._counter = counter
+        self._ids = new_ids
+        if self.on_membership_change is not None and new_ids != old_ids:
+            self.on_membership_change(new_ids - old_ids, old_ids - new_ids)
 
     def remove(self, node_id: NodeId) -> bool:
         """Drop a failed member; returns True if it was present."""
-        before = len(self._clockwise) + len(self._counter)
+        if node_id.value not in self._ids:
+            return False
         self._clockwise = [n for n in self._clockwise if n.node_id != node_id]
         self._counter = [n for n in self._counter if n.node_id != node_id]
         self._ids.discard(node_id.value)
-        return len(self._clockwise) + len(self._counter) != before
+        if self.on_membership_change is not None:
+            self.on_membership_change((), (node_id.value,))
+        return True
+
+    def last_member(self) -> Optional["DhtNode"]:
+        """The final entry of :meth:`members` without building the copy."""
+        if self._clockwise:
+            return self._clockwise[-1]
+        if self._counter:
+            return self._counter[-1]
+        return None
 
     def contains(self, node_id: NodeId) -> bool:
         return node_id.value in self._ids

@@ -8,7 +8,7 @@ replicas placed on it by the state layer.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.dht.leafset import LeafSet
 from repro.dht.routing_table import RoutingTable
@@ -34,6 +34,14 @@ class DhtNode:
         self.routing_table = RoutingTable(node_id, bits_per_digit)
         self.leaf_set = LeafSet(node_id, leaf_set_size)
         self.alive = True
+        # Position in the overlay's join sequence (the overlay sets this
+        # when it adopts the node); -1 for nodes outside any overlay.
+        self.join_order = -1
+        # Overlay hook fired when liveness actually flips (with the new
+        # state), so the overlay's cached alive-node index and count never
+        # serve a stale view even when callers flip liveness via
+        # fail()/revive() directly.
+        self._on_liveness_change: Optional[Callable[[bool], None]] = None
         # Shard replicas stored on behalf of other operators, keyed by the
         # replica's globally unique key (see repro.state.shard).
         self.shard_store: Dict[object, "ShardReplica"] = {}
@@ -76,7 +84,15 @@ class DhtNode:
 
     def fail(self) -> None:
         """Mark the node dead. The overlay handles repair and flow aborts."""
+        if not self.alive:
+            return
         self.alive = False
+        if self._on_liveness_change is not None:
+            self._on_liveness_change(False)
 
     def revive(self) -> None:
+        if self.alive:
+            return
         self.alive = True
+        if self._on_liveness_change is not None:
+            self._on_liveness_change(True)

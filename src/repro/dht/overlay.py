@@ -15,7 +15,8 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence as _SequenceABC
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dht.node import DhtNode
 from repro.errors import OverlayError, RoutingError
@@ -24,6 +25,40 @@ from repro.sim.network import Host, Network
 from repro.util.ids import NodeId, random_node_id
 
 HostFactory = Callable[[str], Host]
+
+
+class _FilteredPool(_SequenceABC):
+    """A read-only view of ``base`` with the sorted ``skips`` positions
+    removed.
+
+    ``random.Random.sample`` touches a population only through ``len()``
+    and indexing, so sampling this view draws byte-identically to sampling
+    the materialized filtered list — without building an O(N) copy of the
+    alive set per call.
+    """
+
+    __slots__ = ("_base", "_skips", "_len")
+
+    def __init__(self, base: Sequence, skips: List[int]) -> None:
+        self._base = base
+        self._skips = skips
+        self._len = len(base) - len(skips)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += self._len
+        if not 0 <= index < self._len:
+            raise IndexError(index)
+        real = index
+        for skip in self._skips:
+            if skip <= real:
+                real += 1
+            else:
+                break
+        return self._base[real]
 
 
 class Overlay:
@@ -47,6 +82,23 @@ class Overlay:
         self.nodes: List[DhtNode] = []
         self._by_id: Dict[NodeId, DhtNode] = {}
         self._index_cache = None
+        # Lazily rebuilt alive-node list (self.nodes order) plus a
+        # position index (id value -> offset in that list). Invalidated
+        # by membership changes and by any node's liveness hook.
+        self._alive_cache: Optional[List[DhtNode]] = None
+        self._alive_pos: Dict[int, int] = {}
+        # Alive-node tally, maintained incrementally from adoptions and
+        # the per-node liveness hooks — alive_count() must not pay the
+        # O(N) cache rebuild on the crash-repair path.
+        self._alive_count = 0
+        # Reverse leaf-set index: id value -> the nodes currently holding
+        # that id in their leaf set (maintained via LeafSet observers).
+        # Turns per-crash repair from an O(N) scan into a dict lookup.
+        self._holders: Dict[int, Dict[DhtNode, None]] = {}
+        # Monotonic counter bumped on any membership, liveness, leaf-set,
+        # or routing-table change. Route memos (e.g. Scribe's) key their
+        # validity on it: unchanged topology -> cached routes are exact.
+        self.topology_version = 0
         self.repairs_performed = 0
         # Cached registry handles: routing is on the Scribe/recovery path.
         self._routes_counter = sim.metrics.counter("overlay.routes")
@@ -61,16 +113,13 @@ class Overlay:
             raise OverlayError("overlay must contain at least one node")
         factory = host_factory or (lambda name: self.network.add_host(name))
         for i in range(count):
-            node_id = self._fresh_id()
             node = DhtNode(
-                node_id,
+                self._fresh_id(),
                 factory(f"node-{i}"),
                 leaf_set_size=self.leaf_set_size,
                 bits_per_digit=self.bits_per_digit,
             )
-            self.nodes.append(node)
-            self._by_id[node_id] = node
-        self._index_cache = None
+            self._adopt(node)
         self._wire_leaf_sets()
         self._wire_routing_tables()
         return list(self.nodes)
@@ -85,9 +134,7 @@ class Overlay:
             leaf_set_size=self.leaf_set_size,
             bits_per_digit=self.bits_per_digit,
         )
-        self.nodes.append(node)
-        self._by_id[node.node_id] = node
-        self._index_cache = None
+        self._adopt(node)
         # Wire the newcomer fully, then refresh the ring neighbours it
         # landed between (its own leaf-set members must adopt it).
         node.leaf_set.rebuild(self._ring_pool(node))
@@ -101,6 +148,43 @@ class Overlay:
         self.sim.metrics.counter("overlay.joins").add(1)
         return node
 
+    def _adopt(self, node: DhtNode) -> None:
+        """Register a node and hook it into the overlay's caches."""
+        node.join_order = len(self.nodes)
+        self.nodes.append(node)
+        self._by_id[node.node_id] = node
+        node._on_liveness_change = self._liveness_changed
+        node.leaf_set.on_membership_change = (
+            lambda added, removed, _node=node: self._leafset_changed(_node, added, removed)
+        )
+        node.routing_table.on_change = self._bump_topology
+        self._index_cache = None
+        if node.alive:
+            self._alive_count += 1
+        self._invalidate_alive()
+
+    def _invalidate_alive(self) -> None:
+        self._alive_cache = None
+        self.topology_version += 1
+
+    def _liveness_changed(self, alive: bool) -> None:
+        # Fired by DhtNode.fail()/revive() only on an actual flip.
+        self._alive_count += 1 if alive else -1
+        self._invalidate_alive()
+
+    def _bump_topology(self) -> None:
+        self.topology_version += 1
+
+    def _leafset_changed(self, node: DhtNode, added: Iterable[int], removed: Iterable[int]) -> None:
+        self.topology_version += 1
+        holders = self._holders
+        for value in added:
+            holders.setdefault(value, {})[node] = None
+        for value in removed:
+            bucket = holders.get(value)
+            if bucket is not None:
+                bucket.pop(node, None)
+
     def _fresh_id(self) -> NodeId:
         while True:
             node_id = random_node_id(self.rng)
@@ -111,9 +195,22 @@ class Overlay:
         ordered = sorted(self.nodes, key=lambda n: n.node_id.value)
         n = len(ordered)
         half = min(self.leaf_set_size // 2, max(0, n - 1))
-        for i, node in enumerate(ordered):
-            window = [ordered[(i + off) % n] for off in range(-half, half + 1) if off]
-            node.leaf_set.rebuild(window)
+        if n - 1 >= 2 * half:
+            # The ring order already determines both halves: the nearest
+            # `half` nodes clockwise/counter-clockwise are the window
+            # itself, nearest first, exactly what `rebuild` would sort
+            # out per node. Seeding directly skips 2N sorts of the
+            # window by 128-bit ring distance.
+            for i, node in enumerate(ordered):
+                cw = [ordered[(i + off) % n] for off in range(1, half + 1)]
+                ccw = [ordered[(i - off) % n] for off in range(1, half + 1)]
+                node.leaf_set.seed(cw, ccw)
+        else:
+            # Tiny ring: window offsets overlap modulo n; let rebuild
+            # resolve duplicates the way it always has.
+            for i, node in enumerate(ordered):
+                window = [ordered[(i + off) % n] for off in range(-half, half + 1) if off]
+                node.leaf_set.rebuild(window)
 
     def _wire_routing_tables(self) -> None:
         n = len(self.nodes)
@@ -128,21 +225,61 @@ class Overlay:
             digit_cache[node.node_id] = digits
             for depth in range(1, max_depth + 1):
                 buckets.setdefault(digits[:depth], []).append(node)
+        # Regroup the buckets per parent prefix as column arrays so the
+        # fill loop below indexes `children[prefix][col]` instead of
+        # hashing a fresh `prefix + (col,)` tuple per (node, row, col) —
+        # ~4.5M tuple constructions at 50k nodes.
+        children: Dict[tuple, List[Optional[List[DhtNode]]]] = {}
+        for key, pool in buckets.items():
+            arr = children.get(key[:-1])
+            if arr is None:
+                arr = children[key[:-1]] = [None] * cols
+            arr[key[-1]] = pool
+        # random.choice is `seq[self._randbelow(len(seq))]` plus an
+        # emptiness check; the pools here are guarded non-empty, so call
+        # _randbelow directly — identical draw sequence, one call layer
+        # less on the ~4.5M picks a 50k build makes.
+        randbelow = self.rng._randbelow
         for node in self.nodes:
             digits = digit_cache[node.node_id]
+            table = node.routing_table
             for row in range(max_depth):
-                prefix = digits[:row]
+                arr = children.get(digits[:row])
+                if arr is None:
+                    continue
+                own = digits[row]
+                slots = None
                 for col in range(cols):
-                    if col == digits[row]:
+                    if col == own:
                         continue
-                    pool = buckets.get(prefix + (col,))
+                    pool = arr[col]
                     if pool:
-                        node.routing_table.add(self.rng.choice(pool))
+                        # The bucket construction guarantees the pick
+                        # shares exactly `row` digits with the owner and
+                        # differs at digit `row` (= col), so the slot is
+                        # written directly — same entry, same rng draw
+                        # order as routing_table.add() would produce.
+                        if slots is None:
+                            slots = table.row_slots(row)
+                        slots[col] = pool[randbelow(len(pool))]
 
     # --------------------------------------------------------------- queries
 
     def alive_nodes(self) -> List[DhtNode]:
-        return [n for n in self.nodes if n.alive]
+        return list(self._alive_list())
+
+    def alive_count(self) -> int:
+        """Number of alive nodes, O(1) from the incremental tally."""
+        return self._alive_count
+
+    def _alive_list(self) -> List[DhtNode]:
+        """The cached alive-node list (self.nodes order). Callers must
+        not mutate it; it is shared until the next liveness change."""
+        cache = self._alive_cache
+        if cache is None:
+            cache = self._alive_cache = [n for n in self.nodes if n.alive]
+            self._alive_pos = {n.node_id.value: i for i, n in enumerate(cache)}
+        return cache
 
     def node_for_id(self, node_id: NodeId) -> DhtNode:
         try:
@@ -193,6 +330,37 @@ class Overlay:
         if refresh:
             node.leaf_set.rebuild(self._ring_pool(node))
         return [n for n in node.leaf_set.members() if n.alive]
+
+    def _repair_leaf_set(self, holder: DhtNode) -> None:
+        """Re-select ``holder``'s leaf set after a neighbour failure.
+
+        Equivalent to ``rebuild(self._ring_pool(holder))``: when the alive
+        ring is large enough that the two half-windows cannot overlap, the
+        outward walks over the sorted index already yield each side's
+        nearest-first member list, so the halves are installed directly
+        and ``rebuild``'s two distance re-sorts are skipped. Tiny rings
+        keep the sort-based path, which handles overlapping windows.
+        """
+        half = holder.leaf_set.half
+        if self.alive_count() - 1 < 2 * half:
+            holder.leaf_set.rebuild(self._ring_pool(holder))
+            return
+        values, ordered = self._sorted_index()
+        n = len(ordered)
+        position = bisect.bisect_left(values, holder.node_id.value)
+        own_value = holder.node_id.value
+        clockwise: List[DhtNode] = []
+        counter: List[DhtNode] = []
+        for direction, side in ((1, clockwise), (-1, counter)):
+            i = position
+            for _ in range(n - 1):
+                if len(side) >= half:
+                    break
+                i = (i + direction) % n
+                candidate = ordered[i]
+                if candidate.alive and candidate.node_id.value != own_value:
+                    side.append(candidate)
+        holder.leaf_set.seed(clockwise, counter)
 
     def _ring_pool(self, owner: DhtNode) -> List[DhtNode]:
         """A candidate pool equivalent to the full alive set for
@@ -316,9 +484,9 @@ class Overlay:
                 continue
             holder.leaf_set.remove(node.node_id)
             holder.routing_table.remove(node.node_id)
-            holder.leaf_set.rebuild(self._ring_pool(holder))
+            self._repair_leaf_set(holder)
             # One request/response pair with a leaf-set edge node.
-            edge = holder.leaf_set.members()[-1] if holder.leaf_set.members() else None
+            edge = holder.leaf_set.last_member()
             if edge is not None:
                 self.network.send_control(holder.host, edge.host, 64)
                 self.network.send_control(edge.host, holder.host, 256)
@@ -326,8 +494,17 @@ class Overlay:
             self._repairs_counter.add(1)
 
     def _leafset_holders(self, node_id: NodeId) -> List[DhtNode]:
-        """Nodes that (should) hold ``node_id`` in their leaf set."""
-        return [n for n in self.nodes if n.alive and n.leaf_set.contains(node_id)]
+        """Nodes that (should) hold ``node_id`` in their leaf set.
+
+        Served from the reverse index in join order — the same order the
+        previous full scan over ``self.nodes`` produced.
+        """
+        bucket = self._holders.get(node_id.value)
+        if not bucket:
+            return []
+        holders = [n for n in bucket if n.alive]
+        holders.sort(key=lambda n: n.join_order)
+        return holders
 
     def replacement_for(self, failed: DhtNode) -> DhtNode:
         """The node that takes over a failed node's key range.
@@ -341,9 +518,29 @@ class Overlay:
         return self.responsible_node(failed.node_id)
 
     def sample_nodes(self, count: int, exclude: Sequence[DhtNode] = ()) -> List[DhtNode]:
-        """Uniformly sample distinct alive nodes, excluding the given ones."""
-        banned = {n.node_id for n in exclude}
-        pool = [n for n in self.alive_nodes() if n.node_id not in banned]
+        """Uniformly sample distinct alive nodes, excluding the given ones.
+
+        The population is a lazy view over the cached alive list with the
+        excluded positions masked out; ``rng.sample`` sees the same length
+        and elements as the old per-call filtered copy, so the draws are
+        byte-identical while each call stays O(|exclude| + count).
+        """
+        alive = self._alive_list()
+        skips: List[int] = []
+        seen = set()
+        for node in exclude:
+            value = node.node_id.value
+            if value in seen:
+                continue
+            seen.add(value)
+            position = self._alive_pos.get(value)
+            if position is not None and alive[position] is node:
+                skips.append(position)
+        if skips:
+            skips.sort()
+            pool: Sequence[DhtNode] = _FilteredPool(alive, skips)
+        else:
+            pool = alive
         if count > len(pool):
             raise OverlayError(f"cannot sample {count} nodes from pool of {len(pool)}")
         return self.rng.sample(pool, count)

@@ -13,7 +13,7 @@ mechanism on top of Scribe's topic-based publish/subscribe trees").
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dht.node import DhtNode
 from repro.dht.overlay import Overlay
@@ -46,6 +46,30 @@ class ScribeSystem:
         self.overlay = overlay
         self.topics: Dict[str, ScribeTopic] = {}
         self.control_messages_sent = 0
+        # Memoized routes, valid while the overlay topology is unchanged:
+        # (start id, key) -> (destination, path). Bulk joins re-resolve
+        # many overlapping routes; the memo collapses repeats to a dict
+        # hit while replaying the same route trace/metrics.
+        self._route_cache: Dict[Tuple[int, int], Tuple[DhtNode, List[DhtNode]]] = {}
+        self._route_cache_version = -1
+
+    def _route(self, start: DhtNode, key) -> Tuple[DhtNode, List[DhtNode]]:
+        version = self.overlay.topology_version
+        if version != self._route_cache_version:
+            self._route_cache.clear()
+            self._route_cache_version = version
+        cache_key = (start.node_id.value, key.value)
+        hit = self._route_cache.get(cache_key)
+        if hit is not None:
+            dest, path = hit
+            # Replay the route's observable side effects (route counter,
+            # hop histogram, trace event) so a memo hit is outwardly
+            # indistinguishable from recomputing the route.
+            self.overlay._trace_route(start, dest, path)
+            return dest, list(path)
+        dest, path = self.overlay.route(start, key)
+        self._route_cache[cache_key] = (dest, list(path))
+        return dest, path
 
     def create_topic(self, name: str) -> ScribeTopic:
         """Create (or return) a topic; root = node responsible for its id."""
@@ -68,7 +92,7 @@ class ScribeSystem:
         if node in topic.tree:
             topic.subscribers.add(node)
             return
-        _, path = self.overlay.route(node, topic.topic_id)
+        _, path = self._route(node, topic.topic_id)
         if path[-1].node_id != topic.root.node_id:
             # Root moved (e.g. after failures): re-anchor the topic.
             raise MulticastError(
@@ -97,6 +121,17 @@ class ScribeSystem:
                 route_hops=len(path) - 1,
                 new_forwarders=new_forwarders,
             )
+
+    def subscribe_many(self, name: str, nodes: Iterable[DhtNode]) -> None:
+        """Join many subscribers to one topic in order.
+
+        Equivalent to calling :meth:`subscribe` per node; the bulk entry
+        point lets route resolution amortize across the batch via the
+        route memo (overlapping JOIN paths toward one root re-resolve to
+        dict hits while the topology holds still).
+        """
+        for node in nodes:
+            self.subscribe(name, node)
 
     def unsubscribe(self, name: str, node: DhtNode) -> None:
         """Remove a subscriber. Forwarder state is kept (lazy pruning)."""

@@ -23,6 +23,10 @@ class SpanningTree:
         self.root = root
         self._parent: Dict[DhtNode, Optional[DhtNode]] = {root: None}
         self._children: Dict[DhtNode, List[DhtNode]] = {root: []}
+        # Depth memo maintained on insertion: tree recovery and Scribe
+        # dissemination ask for depths once per node per shard, which was
+        # an O(depth) parent walk each time (O(n * depth) per build).
+        self._depth: Dict[DhtNode, int] = {root: 0}
 
     def __contains__(self, node: DhtNode) -> bool:
         return node in self._parent
@@ -39,6 +43,7 @@ class SpanningTree:
         self._parent[node] = parent
         self._children[node] = []
         self._children[parent].append(node)
+        self._depth[node] = self._depth[parent] + 1
 
     def parent(self, node: DhtNode) -> Optional[DhtNode]:
         if node not in self._parent:
@@ -50,6 +55,12 @@ class SpanningTree:
             raise MulticastError(f"{node.name} not in tree")
         return list(self._children[node])
 
+    def child_count(self, node: DhtNode) -> int:
+        """Number of children, without copying the child list."""
+        if node not in self._children:
+            raise MulticastError(f"{node.name} not in tree")
+        return len(self._children[node])
+
     def members(self) -> List[DhtNode]:
         return list(self._parent)
 
@@ -58,17 +69,14 @@ class SpanningTree:
 
     def depth_of(self, node: DhtNode) -> int:
         """Edges between ``node`` and the root."""
-        depth = 0
-        current: Optional[DhtNode] = node
-        while True:
-            current = self.parent(current)  # raises if node unknown
-            if current is None:
-                return depth
-            depth += 1
+        try:
+            return self._depth[node]
+        except KeyError:
+            raise MulticastError(f"{node.name} not in tree") from None
 
     def height(self) -> int:
         """Maximum node depth in the tree (0 for a root-only tree)."""
-        return max(self.depth_of(n) for n in self.members())
+        return max(self._depth.values())
 
     def max_fanout(self) -> int:
         return max((len(kids) for kids in self._children.values()), default=0)
@@ -85,7 +93,7 @@ class SpanningTree:
         """Nodes grouped by depth, root level first."""
         grouped: Dict[int, List[DhtNode]] = {}
         for node in self.bfs():
-            grouped.setdefault(self.depth_of(node), []).append(node)
+            grouped.setdefault(self._depth[node], []).append(node)
         return [grouped[d] for d in sorted(grouped)]
 
     def validate(self) -> None:
@@ -174,7 +182,7 @@ def build_tree(
         attached = False
         while frontier:
             parent = frontier[0]
-            if len(tree.children(parent)) < fanout:
+            if tree.child_count(parent) < fanout:
                 depth = tree.depth_of(parent) + 1
                 if max_depth is None or depth <= max_depth:
                     tree.add(node, parent)

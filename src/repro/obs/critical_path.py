@@ -37,6 +37,7 @@ __all__ = [
     "CriticalSegment",
     "blame_breakdown",
     "blame_of",
+    "children_index",
     "critical_path",
     "recovery_roots",
 ]
@@ -130,10 +131,20 @@ def recovery_roots(tracer: Tracer, include_saves: bool = False) -> List[Span]:
     return roots
 
 
-def _children_index(tracer: Tracer) -> Dict[int, List[Span]]:
+def children_index(tracer: Tracer) -> Dict[int, List[Span]]:
+    """``parent span id -> children`` over the whole trace.
+
+    One pass over the trace serves every recovery root in it: callers
+    profiling many recoveries from one tracer (the scale cells profile
+    thousands) build this once and pass it to :func:`critical_path`
+    instead of paying an O(spans) rebuild per root. Instant spans are
+    indexed (subtree counts want them) but never own critical-path time:
+    their end equals their start, so the walk's coverage test already
+    rejects them.
+    """
     index: Dict[int, List[Span]] = {}
     for span in tracer.spans:
-        if span.parent_id is not None and span.kind != "instant":
+        if span.parent_id is not None:
             index.setdefault(span.parent_id, []).append(span)
     return index
 
@@ -155,14 +166,20 @@ def _segment(span: Span, start: float, end: float, depth: int) -> CriticalSegmen
     )
 
 
-def critical_path(tracer: Tracer, root: Span) -> List[CriticalSegment]:
+def critical_path(
+    tracer: Tracer,
+    root: Span,
+    children: Optional[Dict[int, List[Span]]] = None,
+) -> List[CriticalSegment]:
     """The critical path through ``root``'s subtree.
 
     Returns segments sorted by start time that tile ``[root.start,
     root.effective_end]`` exactly — their durations sum to the root's
     makespan, which is what lets per-recovery blame fractions sum to 1.
+    ``children`` is an optional precomputed :func:`children_index`.
     """
-    children = _children_index(tracer)
+    if children is None:
+        children = children_index(tracer)
     segments: List[CriticalSegment] = []
 
     def walk(span: Span, lo: float, hi: float, depth: int) -> None:

@@ -29,6 +29,7 @@ from repro.obs.critical_path import (
     BLAME_CATEGORIES,
     CriticalSegment,
     blame_breakdown,
+    children_index,
     critical_path,
     recovery_roots,
 )
@@ -118,16 +119,28 @@ def _mechanism_of(root: Span) -> str:
     return name
 
 
-def profile_recovery(tracer: Tracer, root: Span) -> RecoveryProfile:
-    """Profile one recovery root span into a :class:`RecoveryProfile`."""
-    segments = critical_path(tracer, root)
+def profile_recovery(
+    tracer: Tracer,
+    root: Span,
+    children: Optional[Dict[int, List[Span]]] = None,
+) -> RecoveryProfile:
+    """Profile one recovery root span into a :class:`RecoveryProfile`.
+
+    ``children`` is an optional precomputed
+    :func:`~repro.obs.critical_path.children_index` for the tracer —
+    callers profiling many roots from one trace share it so the per-root
+    cost stays proportional to the subtree, not the whole trace.
+    """
+    if children is None:
+        children = children_index(tracer)
+    segments = critical_path(tracer, root, children)
     seconds = blame_breakdown(segments)
     makespan = root.effective_end - root.start
     if makespan > 0:
         fractions = {k: v / makespan for k, v in seconds.items()}
     else:
         fractions = {k: 0.0 for k in seconds}
-    descendant_count = _count_subtree(tracer, root)
+    descendant_count = _count_subtree(root, children)
     state_bytes = float(root.attrs.get("state_bytes", root.attrs.get("bytes", 0.0)))
     return RecoveryProfile(
         trace=tracer.name,
@@ -151,11 +164,7 @@ def profile_recovery(tracer: Tracer, root: Span) -> RecoveryProfile:
     )
 
 
-def _count_subtree(tracer: Tracer, root: Span) -> int:
-    children: Dict[int, List[Span]] = {}
-    for span in tracer.spans:
-        if span.parent_id is not None:
-            children.setdefault(span.parent_id, []).append(span)
+def _count_subtree(root: Span, children: Dict[int, List[Span]]) -> int:
     count = 0
     stack = [root]
     while stack:
@@ -177,8 +186,9 @@ def profile_tracers(
     """
     profiles: List[RecoveryProfile] = []
     for tracer in _as_tracers(tracers):
+        children = children_index(tracer)
         for root in recovery_roots(tracer, include_saves=include_saves):
-            profiles.append(profile_recovery(tracer, root))
+            profiles.append(profile_recovery(tracer, root, children))
     return profiles
 
 

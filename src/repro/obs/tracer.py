@@ -43,6 +43,9 @@ __all__ = [
     "default_tracer",
     "collected_tracers",
     "clear_collected",
+    "export_collected",
+    "drop_collected",
+    "inject_collected",
 ]
 
 
@@ -378,3 +381,76 @@ def collected_tracers() -> List[Tracer]:
 
 def clear_collected() -> None:
     del _COLLECTED[:]
+
+
+# ------------------------------------------------- cross-process import/export
+#
+# The parallel sweep runner (repro.bench.parallel) runs cells in spawn-fresh
+# worker processes whose collectors start empty. Each worker exports its
+# collected tracers as plain, picklable payloads; the parent re-adopts them
+# in cell order, renumbering with its own collection indices, so trace
+# artifacts come out byte-identical to an in-process sweep.
+
+
+def export_collected(start: int = 0) -> List[Dict[str, Any]]:
+    """Snapshot collected tracers (from ``start``) as picklable payloads.
+
+    The per-collection index suffix that :func:`default_tracer` appended is
+    stripped so the importing process can re-apply its own numbering. The
+    tracer's current clock is captured too: open spans clamp to it on
+    export, and the reconstruction must keep clamping to the same instant.
+    """
+    payloads: List[Dict[str, Any]] = []
+    for index in range(start, len(_COLLECTED)):
+        tracer = _COLLECTED[index]
+        suffix = f"-{index}"
+        name = tracer.name
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+        payloads.append(
+            {
+                "name": name,
+                "now": tracer.now,
+                "spans": [
+                    (
+                        s.span_id,
+                        s.parent_id,
+                        s.name,
+                        s.category,
+                        s.kind,
+                        s.start,
+                        s.end,
+                        dict(s.attrs),
+                    )
+                    for s in tracer.spans
+                ],
+            }
+        )
+    return payloads
+
+
+def drop_collected(start: int = 0) -> None:
+    """Forget collected tracers from ``start`` on (after exporting them)."""
+    del _COLLECTED[start:]
+
+
+def inject_collected(payload: Dict[str, Any]) -> Tracer:
+    """Rebuild an exported tracer and adopt it into this process's collection.
+
+    Mirrors :func:`default_tracer`'s naming: the payload's base name gets
+    this collection's next index appended, so injecting worker payloads in
+    cell order reproduces the serial sweep's tracer names exactly. The
+    rebuilt tracer's clock is frozen at the exported ``now`` so open spans
+    keep clamping to the same instant they did in the worker.
+    """
+    tracer = Tracer(name=f"{payload['name']}-{len(_COLLECTED)}")
+    tracer.bind_clock(lambda now=float(payload.get("now", 0.0)): now)
+    next_id = 1
+    for span_id, parent_id, name, category, kind, start, end, attrs in payload["spans"]:
+        span = Span(tracer, span_id, parent_id, name, category, kind, start, attrs)
+        span.end = end
+        tracer.spans.append(span)
+        next_id = max(next_id, span_id + 1)
+    tracer._next_id = next_id
+    _COLLECTED.append(tracer)
+    return tracer

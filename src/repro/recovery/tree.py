@@ -351,8 +351,7 @@ class TreeRecovery:
                 if epoch:
                     topic_name += f"/retry-{epoch}"
                 self.scribe.create_topic(topic_name)
-                for member in members:
-                    self.scribe.subscribe(topic_name, member)
+                self.scribe.subscribe_many(topic_name, members)
                 tree = self.scribe.topics[topic_name].tree
             elif self.branch_depth is not None:
                 tree = build_tree_with_depth(root, members[1:], self.branch_depth)
@@ -364,7 +363,7 @@ class TreeRecovery:
             # Aggregate bottom-up: a node sends its accumulated range to its
             # parent once all of its children have delivered. Scribe trees
             # may contain pure forwarders, which contribute no sub-shard.
-            waiting = {node: len(tree.children(node)) for node in tree.members()}
+            waiting = {node: tree.child_count(node) for node in tree.members()}
             aggregate = {
                 node: (sub_bytes if node.node_id in contributors else 0.0)
                 for node in tree.members()
@@ -501,7 +500,7 @@ class TreeRecovery:
         extra_needed = target - len(members)
         if extra_needed > 0:
             exclude = members + [replacement]
-            pool_size = len(ctx.overlay.alive_nodes()) - len(exclude)
+            pool_size = ctx.overlay.alive_count() - len(exclude)
             extra = ctx.overlay.sample_nodes(min(extra_needed, max(0, pool_size)), exclude)
             members.extend(extra)
         if not members:

@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.obs.tracer import NULL_SPAN
+from repro.sim import flowvec
 from repro.sim.kernel import Event, Simulator
 
 _EPSILON_BYTES = 1e-6
@@ -87,12 +88,52 @@ class Host:
         self.nominal_down_bw = down_bw
         self.latency = latency
         self.alive = True
-        self.bytes_sent = 0.0
-        self.bytes_received = 0.0
+        self._bytes_sent = 0.0
+        self._bytes_received = 0.0
+        # While the network runs in vectorized mode this points at
+        # (FlowTable, slot): the table's arrays are then authoritative
+        # for this host's flow-byte counters, and the properties below
+        # read/write through so external accounting (tests, checkpoint
+        # stores) stays transparent in either mode.
+        self._flowvec = None
         self.control_bytes_sent = 0.0
         self.control_bytes_received = 0.0
         self.active_out: Set["Flow"] = set()
         self.active_in: Set["Flow"] = set()
+
+    @property
+    def bytes_sent(self) -> float:
+        ref = self._flowvec
+        if ref is not None:
+            table, slot = ref
+            return float(table.h_sent[slot])
+        return self._bytes_sent
+
+    @bytes_sent.setter
+    def bytes_sent(self, value: float) -> None:
+        ref = self._flowvec
+        if ref is not None:
+            table, slot = ref
+            table.h_sent[slot] = value
+        else:
+            self._bytes_sent = value
+
+    @property
+    def bytes_received(self) -> float:
+        ref = self._flowvec
+        if ref is not None:
+            table, slot = ref
+            return float(table.h_recv[slot])
+        return self._bytes_received
+
+    @bytes_received.setter
+    def bytes_received(self, value: float) -> None:
+        ref = self._flowvec
+        if ref is not None:
+            table, slot = ref
+            table.h_recv[slot] = value
+        else:
+            self._bytes_received = value
 
     def bw_fraction(self) -> float:
         """Current capacity as a fraction of nominal (the worse direction).
@@ -230,6 +271,12 @@ class Network:
         # rate (its whole payload moves on settle regardless of elapsed).
         self._settled_at = -1.0
         self._inf_rates = False
+        # Vectorized mirror of the live flow list (repro.sim.flowvec).
+        # Attached when the flow population crosses VECTOR_ACTIVATE,
+        # detached (with state written back to the objects) below
+        # VECTOR_DEACTIVATE. None when numpy is unavailable or the
+        # population is small — the scalar loops below then run as-is.
+        self._vec: Optional["flowvec.FlowTable"] = None
         # Hosts with at least one live flow (endpoint refcounts) — the
         # telemetry "involved" set without scanning every flow per sample.
         self._active_refs: Dict[Host, int] = {}
@@ -249,6 +296,13 @@ class Network:
         self._queue_wait_hist = sim.metrics.histogram("net.flow_queue_wait")
         self._flow_stall_hist = sim.metrics.histogram("net.flow_stall_s")
         self._host_series: Dict[str, tuple] = {}
+        # Last recorded (up_util, down_util, flows) per host: a sample is
+        # appended only when the value moved, so the timelines stay the
+        # same step functions while sampling only the hosts a reallocation
+        # touched. The dedupe is what keeps incremental and global
+        # allocators serializing byte-identical series — the global solve
+        # visits every host but unchanged values record nothing.
+        self._host_last: Dict[str, List[float]] = {}
         # Hosts whose allocation may just have dropped (flow removed or
         # bandwidth changed) and must record a fresh sample even if they
         # no longer carry any flow.
@@ -355,6 +409,8 @@ class Network:
         self._settle_progress()
         host.up_bw = up_bw
         host.down_bw = down_bw
+        if self._vec is not None:
+            self._vec.update_host_bw(host)
         self._dirty_keys.add(("up", host.name))
         self._dirty_keys.add(("down", host.name))
         self._request_recompute()
@@ -433,7 +489,9 @@ class Network:
             self._finish_flow(flow)
             return
         self._flows.add(flow)
-        self._insert_ordered(flow)
+        position = self._insert_ordered(flow)
+        if self._vec is not None:
+            self._vec.insert(position, flow)
         flow.src.active_out.add(flow)
         flow.dst.active_in.add(flow)
         up_key = ("up", flow.src.name)
@@ -531,6 +589,8 @@ class Network:
         self._settle_progress()
         flow.demand = demand
         if flow in self._flows:
+            if self._vec is not None:
+                self._vec.demand[self._vec.pos_of(flow)] = demand
             self._dirty_keys.add(("up", flow.src.name))
             self._dirty_keys.add(("down", flow.dst.name))
             self._request_recompute()
@@ -594,8 +654,14 @@ class Network:
         """Flows in admission order — the deterministic iteration order."""
         return sorted(flows, key=lambda f: f.seq)
 
-    def _insert_ordered(self, flow: Flow) -> None:
-        """Bisection insert into the admission-ordered live list."""
+    def _insert_ordered(self, flow: Flow) -> int:
+        """Bisection insert into the admission-ordered live list.
+
+        Returns the insertion position so the vectorized mirror can
+        insert its row at the same index (differing propagation
+        latencies admit flows out of sequence order, so the position is
+        not always the end).
+        """
         lst = self._order_cache
         seq = flow.seq
         lo, hi = 0, len(lst)
@@ -606,6 +672,7 @@ class Network:
             else:
                 hi = mid
         lst.insert(lo, flow)
+        return lo
 
     def _settle_progress(self) -> None:
         """Advance every flow's remaining-byte count to the current instant.
@@ -616,6 +683,26 @@ class Network:
         """
         now = self.sim.now
         if now == self._settled_at and not self._inf_rates:
+            return
+        vec = self._vec
+        if (
+            vec is None
+            and flowvec.HAVE_NUMPY
+            and len(self._order_cache) >= flowvec.VECTOR_ACTIVATE
+        ):
+            # All live flows are settled as of _settled_at (the settle
+            # invariant: every mutation settles first), so the array
+            # snapshot taken here is coherent.
+            vec = self._vec = flowvec.FlowTable(self._order_cache)
+        if vec is not None:
+            moved = vec.settle(now - self._settled_at)
+            if moved is not None:
+                self.total_bytes = flowvec.fold_total(self.total_bytes, moved)
+                counter = self._flow_bytes_counter
+                counter.total = flowvec.fold_total(counter.total, moved)
+            self._settled_at = now
+            if vec.n < flowvec.VECTOR_DEACTIVATE:
+                self._deactivate_vector()
             return
         for flow in self._order_cache:
             elapsed = now - flow._last_update
@@ -641,9 +728,35 @@ class Network:
             flow._last_update = now
         self._settled_at = now
 
+    def _deactivate_vector(self) -> None:
+        """Write vector state back to the objects and drop the mirror.
+
+        Callers guarantee the table is settled as of ``_settled_at``;
+        surviving flows resume scalar settling from that instant.
+        """
+        vec = self._vec
+        self._vec = None
+        settled_at = self._settled_at
+        for position, flow in enumerate(self._order_cache):
+            flow.remaining = float(vec.remaining[position])
+            flow._last_update = settled_at
+        vec.detach()
+
     def _remove_flow(self, flow: Flow) -> None:
         self._flows.discard(flow)
-        self._order_cache.remove(flow)
+        vec = self._vec
+        if vec is not None:
+            # Sync the authoritative remaining-byte count back before the
+            # object leaves the table (completion/abort callbacks read it).
+            position = vec.pos_of(flow)
+            flow.remaining = float(vec.remaining[position])
+            flow._last_update = self._settled_at
+            vec.remove(position)
+            del self._order_cache[position]
+            if vec.n < flowvec.VECTOR_DEACTIVATE:
+                self._deactivate_vector()
+        else:
+            self._order_cache.remove(flow)
         flow.src.active_out.discard(flow)
         flow.dst.active_in.discard(flow)
         up_key = ("up", flow.src.name)
@@ -712,53 +825,93 @@ class Network:
         if not self._flows:
             dirty.clear()
             self._inf_rates = False
-            self._record_telemetry()
+            self._record_telemetry(set())
             return
 
+        # Hosts whose allocation this pass may have changed — the only
+        # ones worth re-sampling. None means "every active host" (the
+        # full-solve paths re-rate everything).
+        touched_hosts: Optional[Set[Host]] = set()
         if self.allocator == "global":
             dirty.clear()
-            rates = self._waterfill(self._order_cache)
-            for flow in self._order_cache:
-                flow.rate = rates.get(flow, 0.0)
+            self._solve_full()
+            touched_hosts = None
         elif dirty:
             component = self._dirty_component()
             dirty.clear()
             if 2 * len(component) >= len(self._order_cache):
                 # Most flows are affected anyway — the restricted solve
                 # would walk the same links as the full one.
-                rates = self._waterfill(self._order_cache)
-                for flow in self._order_cache:
-                    flow.rate = rates.get(flow, 0.0)
+                self._solve_full()
+                touched_hosts = None
             elif component:
                 affected = self._ordered(component)
-                rates = self._waterfill(affected)
+                self._solve_component(affected)
                 for flow in affected:
-                    flow.rate = rates.get(flow, 0.0)
+                    touched_hosts.add(flow.src)
+                    touched_hosts.add(flow.dst)
         # else: nothing touching the link graph changed (e.g. an abort of
         # a not-yet-admitted flow) — every rate is still valid.
 
         now = self.sim.now
-        next_completion = math.inf
-        inf_rates = False
-        for flow in self._order_cache:
-            rate = flow.rate
-            if rate > 0:
-                if math.isinf(flow.remaining):
-                    # Long-running app traffic never completes; an infinite
-                    # rate on it moves no bytes either, so it must not keep
-                    # scheduling zero-delay completion ticks.
-                    continue
-                if math.isinf(rate):
-                    finish = now
-                    inf_rates = True
-                else:
-                    finish = now + flow.remaining / rate
-                next_completion = min(next_completion, finish)
+        if self._vec is not None:
+            next_completion, inf_rates = self._vec.completion_scan(now)
+        else:
+            next_completion = math.inf
+            inf_rates = False
+            for flow in self._order_cache:
+                rate = flow.rate
+                if rate > 0:
+                    if math.isinf(flow.remaining):
+                        # Long-running app traffic never completes; an
+                        # infinite rate on it moves no bytes either, so it
+                        # must not keep scheduling zero-delay completion
+                        # ticks.
+                        continue
+                    if math.isinf(rate):
+                        finish = now
+                        inf_rates = True
+                    else:
+                        finish = now + flow.remaining / rate
+                    next_completion = min(next_completion, finish)
         self._inf_rates = inf_rates
         if not math.isinf(next_completion):
             delay = max(0.0, next_completion - now)
             self._completion_event = self.sim.schedule(delay, self._on_completion_tick)
-        self._record_telemetry()
+        self._record_telemetry(touched_hosts)
+
+    def _solve_full(self) -> None:
+        """Re-rate every live flow (full solve), scalar or vectorized."""
+        vec = self._vec
+        if vec is not None and vec.n >= flowvec.WATERFILL_MIN:
+            rates = flowvec.waterfill(vec, None)
+            vec.rate[: vec.n] = rates
+            # Object rates stay synced: telemetry and external readers
+            # consume Flow.rate directly in either mode.
+            for position, flow in enumerate(self._order_cache):
+                flow.rate = float(rates[position])
+            return
+        rates = self._waterfill(self._order_cache)
+        for flow in self._order_cache:
+            flow.rate = rates.get(flow, 0.0)
+        if vec is not None:
+            vec.sync_rates(self._order_cache)
+
+    def _solve_component(self, affected: List[Flow]) -> None:
+        """Re-rate one dirty component (admission-ordered ``affected``)."""
+        vec = self._vec
+        if vec is not None and len(affected) >= flowvec.WATERFILL_MIN:
+            positions = vec.positions_of(affected)
+            rates = flowvec.waterfill(vec, positions)
+            vec.rate[positions] = rates
+            for index, flow in enumerate(affected):
+                flow.rate = float(rates[index])
+            return
+        rates = self._waterfill(affected)
+        for flow in affected:
+            flow.rate = rates.get(flow, 0.0)
+        if vec is not None:
+            vec.sync_rates(affected)
 
     def _dirty_component(self) -> Set[Flow]:
         """Flows connected to a dirty link through shared constraints."""
@@ -877,16 +1030,23 @@ class Network:
     def _direction_utilization(flows: Set[Flow], capacity: float) -> float:
         if not flows or math.isinf(capacity):
             return 0.0
-        # fsum over sorted rates: exactly rounded and independent of set
-        # iteration order, so same-seed runs serialize identical timelines.
-        used = math.fsum(sorted(f.rate for f in flows if not math.isinf(f.rate)))
+        # fsum is exactly rounded, so the value is independent of the set
+        # iteration order and same-seed runs serialize identical timelines.
+        used = math.fsum(f.rate for f in flows if not math.isinf(f.rate))
         return min(1.0, used / capacity)
 
-    def _record_telemetry(self) -> None:
-        """Sample per-host link utilization and flow counts after a reallocation."""
+    def _record_telemetry(self, touched: Optional[Set[Host]]) -> None:
+        """Sample per-host link utilization and flow counts after a reallocation.
+
+        Only hosts the reallocation could have moved (``touched``, plus
+        any whose last flow just left) are visited; ``None`` means every
+        active host (a full solve). Each series appends a point only when
+        the value changed, so the dumped timelines are identical whichever
+        superset of changed hosts was visited.
+        """
         now = self.sim.now
         self._flows_active_series.record(now, float(len(self._flows)))
-        involved = set(self._active_refs)
+        involved = set(self._active_refs) if touched is None else set(touched)
         involved |= self._telemetry_dirty
         self._telemetry_dirty.clear()
         for host in sorted(involved, key=lambda h: h.name):
@@ -899,23 +1059,36 @@ class Network:
                     series(f"net.host.{host.name}.flows"),
                 )
                 self._host_series[host.name] = cached
+                self._host_last[host.name] = [-1.0, -1.0, -1.0]
             up_series, down_series, flows_series = cached
-            up_series.record(
-                now, self._direction_utilization(host.active_out, host.up_bw)
-            )
-            down_series.record(
-                now, self._direction_utilization(host.active_in, host.down_bw)
-            )
-            flows_series.record(
-                now, float(len(host.active_out) + len(host.active_in))
-            )
+            last = self._host_last[host.name]
+            up = self._direction_utilization(host.active_out, host.up_bw)
+            if up != last[0]:
+                last[0] = up
+                up_series.record(now, up)
+            down = self._direction_utilization(host.active_in, host.down_bw)
+            if down != last[1]:
+                last[1] = down
+                down_series.record(now, down)
+            flows = float(len(host.active_out) + len(host.active_in))
+            if flows != last[2]:
+                last[2] = flows
+                flows_series.record(now, flows)
 
     def _on_completion_tick(self) -> None:
         self._completion_event = None
         self._settle_progress()
-        finished = [
-            f for f in self._order_cache if f.remaining <= _EPSILON_BYTES
-        ]
+        vec = self._vec
+        if vec is not None:
+            order = self._order_cache
+            finished = [
+                order[int(position)]
+                for position in vec.finished_positions(_EPSILON_BYTES)
+            ]
+        else:
+            finished = [
+                f for f in self._order_cache if f.remaining <= _EPSILON_BYTES
+            ]
         for flow in finished:
             self._remove_flow(flow)
         for flow in finished:

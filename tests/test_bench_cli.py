@@ -24,6 +24,11 @@ class TestParser:
         assert args.scale_nodes == [64, 128]
         assert build_parser().parse_args(["scale"]).scale_nodes is None
 
+    def test_jobs_defaults_to_serial(self):
+        assert build_parser().parse_args(["scale"]).jobs == 1
+        args = build_parser().parse_args(["scale", "--jobs", "4"])
+        assert args.jobs == 4
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -113,6 +118,16 @@ class TestScaleExperiment:
         assert "makespan_s" in out
         assert "wall_s" in out
 
+    def test_scale_cli_nondefault_size_prints_informational_notice(self, capsys):
+        assert main(["scale", "--scale-nodes", "64"]) == 0
+        err = capsys.readouterr().err
+        assert "scale/64/* results are informational, no baseline key" in err
+
+    def test_scale_cli_default_sizes_get_no_notice(self, capsys):
+        # 512 is a gated size: it must run without the informational notice.
+        assert main(["run", "scale", "--scale-nodes", "512"]) == 0
+        assert "informational" not in capsys.readouterr().err
+
 
 class TestCampaign:
     def test_smoke_campaign_writes_report(self, tmp_path, capsys):
@@ -156,6 +171,17 @@ class TestSubcommands:
         data = json.loads(out.read_text())
         assert data["campaign"] == "smoke"
         assert data["summary"]["failed"] == 0
+
+    def test_campaign_jobs_flag_writes_identical_report(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        assert main(["campaign", "smoke", "--out", str(serial_out)]) == 0
+        assert (
+            main(["campaign", "smoke", "--jobs", "2", "--out", str(parallel_out)])
+            == 0
+        )
+        capsys.readouterr()
+        assert parallel_out.read_bytes() == serial_out.read_bytes()
 
     def test_control_subcommand(self, tmp_path, capsys):
         out = tmp_path / "resilience-control.json"

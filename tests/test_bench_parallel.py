@@ -1,0 +1,133 @@
+"""The multiprocess sweep runner: byte-identical output vs the in-process path.
+
+The determinism contract of :mod:`repro.bench.parallel` says ``--jobs N``
+changes wall-clock only: reports, rows, baseline keys, and observability
+artifacts must come out byte-identical to the serial sweep. These tests
+run real spawn workers (jobs=2), so they also prove cells re-derive their
+randomness from the cell key alone.
+"""
+
+import json
+
+from repro.bench import experiments as exp
+from repro.bench.parallel import run_campaign_parallel
+from repro.bench.reporting import write_trace_artifact
+from repro.chaos.campaign import run_campaign
+from repro.obs import registry, tracer
+
+
+class TestTracerExportInject:
+    def test_roundtrip_renumbers_and_freezes_clock(self):
+        tracer.clear_collected()
+        tracer.enable_tracing(True)
+        try:
+            cell_tracer = tracer.default_tracer("cell")
+            cell_tracer.bind_clock(lambda: 5.0)
+            cell_tracer.start("work", category="x", bytes=7.0)  # stays open
+            cell_tracer.instant("tick", at=1.0)
+            payloads = tracer.export_collected()
+            assert [p["name"] for p in payloads] == ["cell"]  # suffix stripped
+            tracer.clear_collected()
+            rebuilt = tracer.inject_collected(payloads[0])
+            assert rebuilt.name == "cell-0"  # renumbered on adoption
+            assert [s.name for s in rebuilt.spans] == ["work", "tick"]
+            assert rebuilt.spans[0].attrs == {"bytes": 7.0}
+            # The open span keeps clamping to the exported clock instant.
+            assert rebuilt.spans[0].effective_end == 5.0
+            assert rebuilt.spans[1].end == 1.0
+            assert tracer.collected_tracers() == [rebuilt]
+        finally:
+            tracer.enable_tracing(False)
+            tracer.clear_collected()
+
+    def test_export_start_scopes_to_new_cells(self):
+        tracer.clear_collected()
+        tracer.enable_tracing(True)
+        try:
+            tracer.default_tracer("first")
+            start = len(tracer.collected_tracers())
+            tracer.default_tracer("second")
+            payloads = tracer.export_collected(start)
+            assert [p["name"] for p in payloads] == ["second"]
+            tracer.drop_collected(start)
+            assert [t.name for t in tracer.collected_tracers()] == ["first-0"]
+        finally:
+            tracer.enable_tracing(False)
+            tracer.clear_collected()
+
+
+class TestRegistryExportInject:
+    def test_roundtrip_renumbers(self):
+        registry.clear_collected_registries()
+        registry.enable_metrics_collection(True)
+        try:
+            cell = registry.default_registry("cell")
+            cell.counter("net.bytes").add(3.0)
+            payloads = registry.export_collected_registries()
+            assert [p["name"] for p in payloads] == ["cell"]
+            registry.clear_collected_registries()
+            registry.inject_registry_dump(payloads[0])
+            dumps = [r.dump() for r in registry.collected_registries()]
+            assert dumps[0]["name"] == "cell-0"
+            assert dumps[0]["counters"]["net.bytes"]["total"] == 3.0
+        finally:
+            registry.enable_metrics_collection(False)
+            registry.clear_collected_registries()
+
+
+class TestParallelCampaign:
+    def test_smoke_report_byte_identical_to_serial(self):
+        serial = run_campaign("smoke").to_json()
+        parallel = run_campaign_parallel("smoke", jobs=2).to_json()
+        assert parallel == serial
+
+    def test_observability_artifacts_byte_identical(self, tmp_path):
+        def run(runner, tag):
+            tracer.clear_collected()
+            tracer.enable_tracing(True)
+            registry.clear_collected_registries()
+            registry.enable_metrics_collection(True)
+            try:
+                report = runner()
+                trace_path = tmp_path / f"trace-{tag}.json"
+                write_trace_artifact(str(trace_path), chrome=True)
+                metrics = json.dumps(
+                    {
+                        "registries": [
+                            r.dump() for r in registry.collected_registries()
+                        ]
+                    },
+                    sort_keys=True,
+                )
+                names = [t.name for t in tracer.collected_tracers()]
+            finally:
+                tracer.enable_tracing(False)
+                tracer.clear_collected()
+                registry.enable_metrics_collection(False)
+                registry.clear_collected_registries()
+            return report.to_json(), trace_path.read_text(), metrics, names
+
+        serial = run(lambda: run_campaign("smoke"), "serial")
+        parallel = run(lambda: run_campaign_parallel("smoke", jobs=2), "par")
+        assert parallel == serial
+
+
+class TestParallelScale:
+    @staticmethod
+    def _simulated(result):
+        """Everything deterministic: rows and keys minus wall-clock noise."""
+        keys = {
+            k: v
+            for k, v in result.extra["baseline_metrics"].items()
+            if not k.endswith(("/wall_s", "/events_per_s"))
+        }
+        rows = [
+            (row["nodes"], row["mechanism"], row["apps"], row["makespan_s"])
+            for row in result.rows
+        ]
+        return keys, rows
+
+    def test_scale_cells_match_in_process_sweep(self):
+        serial = exp.scale_overlay(node_counts=(64, 128), state_mb=1, jobs=1)
+        parallel = exp.scale_overlay(node_counts=(64, 128), state_mb=1, jobs=2)
+        assert self._simulated(parallel) == self._simulated(serial)
